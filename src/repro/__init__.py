@@ -1,0 +1,32 @@
+"""repro: a reproduction of BASM (ICDE 2023).
+
+BASM — the Bottom-up Adaptive Spatiotemporal Model — is a CTR model for
+online food ordering that adapts its parameters to the spatiotemporal context
+at three levels: the embedding layer (StAEL), the semantic layer (StSTL) and
+the classification tower (StABT).  This package contains:
+
+* ``repro.nn`` — a from-scratch numpy autodiff / neural-network substrate;
+* ``repro.features`` — feature schema, geohash, time-periods, behaviours;
+* ``repro.data`` — synthetic Ele.me-style and public-style datasets;
+* ``repro.models`` — BASM plus the six comparison models of the paper;
+* ``repro.metrics`` — AUC, the paper's TAUC/CAUC, NDCG, LogLoss;
+* ``repro.training`` — trainer, evaluator, profiler, experiment drivers;
+* ``repro.serving`` — online serving and A/B test simulation;
+* ``repro.analysis`` — figure-level analyses (distributions, heatmaps, t-SNE).
+"""
+
+from . import analysis, data, features, metrics, models, nn, serving, training
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "data",
+    "features",
+    "metrics",
+    "models",
+    "nn",
+    "serving",
+    "training",
+    "__version__",
+]

@@ -1,0 +1,39 @@
+"""Analysis utilities reproducing the paper's figures."""
+
+from .distribution import (
+    DistributionReport,
+    coefficient_of_variation,
+    distribution_report,
+    exposure_ctr_by_time_period,
+    spatiotemporal_bias_matrix,
+)
+from .embedding_separation import (
+    SeparationReport,
+    collect_representations,
+    separation_report,
+)
+from .heatmap import (
+    AlphaHeatmap,
+    activity_statistics_by_city,
+    activity_statistics_by_period,
+    stael_heatmap_by_group,
+)
+from .tsne import TSNE, scatter_separation_ratio, silhouette_score
+
+__all__ = [
+    "DistributionReport",
+    "coefficient_of_variation",
+    "distribution_report",
+    "exposure_ctr_by_time_period",
+    "spatiotemporal_bias_matrix",
+    "SeparationReport",
+    "collect_representations",
+    "separation_report",
+    "AlphaHeatmap",
+    "activity_statistics_by_city",
+    "activity_statistics_by_period",
+    "stael_heatmap_by_group",
+    "TSNE",
+    "scatter_separation_ratio",
+    "silhouette_score",
+]

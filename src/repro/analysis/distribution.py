@@ -1,0 +1,93 @@
+"""Spatiotemporal distribution reports (paper Fig. 2 and Fig. 6).
+
+These are the plots the paper uses to motivate the problem: exposure volume
+and CTR vary strongly with the hour of day and the city, and the CTR surface
+over (city, hour) — the "spatiotemporal bias" — is far from flat.  Since the
+environment is headless, the reports are returned as plain data structures and
+rendered as text tables by the benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from ..data.log import ImpressionLog
+from ..data.stats import exposure_ctr_by_city, exposure_ctr_by_hour
+from ..features.time_features import TimePeriod
+
+__all__ = [
+    "DistributionReport",
+    "distribution_report",
+    "spatiotemporal_bias_matrix",
+    "exposure_ctr_by_time_period",
+    "coefficient_of_variation",
+]
+
+
+@dataclass
+class DistributionReport:
+    """Fig. 2-style summary: exposures and CTR by hour, city, and time-period."""
+
+    by_hour: Dict[int, Dict[str, float]]
+    by_city: Dict[int, Dict[str, float]]
+    by_time_period: Dict[int, Dict[str, float]]
+
+    def ctr_spread_over_hours(self) -> float:
+        """Max minus min hourly CTR — the headline variation of Fig. 2a."""
+        values = [entry["ctr"] for entry in self.by_hour.values() if entry["exposures"] > 0]
+        return float(max(values) - min(values)) if values else 0.0
+
+    def ctr_spread_over_cities(self) -> float:
+        values = [entry["ctr"] for entry in self.by_city.values() if entry["exposures"] > 0]
+        return float(max(values) - min(values)) if values else 0.0
+
+
+def exposure_ctr_by_time_period(log: ImpressionLog) -> Dict[int, Dict[str, float]]:
+    """Exposure count and CTR per time-period."""
+    periods = log.impression_period()
+    result: Dict[int, Dict[str, float]] = {}
+    for period in TimePeriod:
+        mask = periods == int(period)
+        exposures = int(mask.sum())
+        result[int(period)] = {
+            "exposures": exposures,
+            "ctr": float(log.label[mask].mean()) if exposures else 0.0,
+        }
+    return result
+
+
+def distribution_report(log: ImpressionLog) -> DistributionReport:
+    """Compute the full Fig. 2 report from an impression log."""
+    return DistributionReport(
+        by_hour=exposure_ctr_by_hour(log),
+        by_city=exposure_ctr_by_city(log),
+        by_time_period=exposure_ctr_by_time_period(log),
+    )
+
+
+def spatiotemporal_bias_matrix(log: ImpressionLog, num_cities: int) -> np.ndarray:
+    """CTR per (city, hour) cell — the surface shown in Fig. 6.
+
+    Cells with no exposures hold ``nan``.
+    """
+    cities = log.impression_city()
+    hours = log.impression_hour()
+    matrix = np.full((num_cities, 24), np.nan)
+    for city in range(num_cities):
+        for hour in range(24):
+            mask = (cities == city) & (hours == hour)
+            if mask.any():
+                matrix[city, hour] = float(log.label[mask].mean())
+    return matrix
+
+
+def coefficient_of_variation(values) -> float:
+    """Std / mean of the non-nan entries; quantifies how non-flat a surface is."""
+    values = np.asarray(values, dtype=np.float64).reshape(-1)
+    values = values[~np.isnan(values)]
+    if values.size == 0 or values.mean() == 0:
+        return float("nan")
+    return float(values.std() / values.mean())

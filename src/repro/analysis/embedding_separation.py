@@ -1,0 +1,110 @@
+"""Compare how well model representations separate spatiotemporal groups.
+
+This drives the quantitative version of the paper's Fig. 10/11 claim: BASM's
+final hidden representations should cluster by time-period and by city more
+cleanly than the base model's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..data.dataset import DataLoader
+from ..data.encoding import EncodedDataset
+from ..models.base import BaseCTRModel
+from .tsne import TSNE, scatter_separation_ratio, silhouette_score
+
+__all__ = ["SeparationReport", "collect_representations", "separation_report"]
+
+
+@dataclass
+class SeparationReport:
+    """Cluster-separation scores of one model's representations for one grouping."""
+
+    model_name: str
+    group_key: str
+    silhouette: float
+    scatter_ratio: float
+    num_samples: int
+
+    def as_row(self) -> Dict[str, float]:
+        return {
+            "Model": self.model_name,
+            "Grouping": self.group_key,
+            "Silhouette": round(self.silhouette, 4),
+            "Scatter ratio": round(self.scatter_ratio, 4),
+            "#Samples": self.num_samples,
+        }
+
+
+def collect_representations(
+    model: BaseCTRModel,
+    dataset: EncodedDataset,
+    max_samples: int = 1500,
+    batch_size: int = 512,
+    seed: int = 0,
+):
+    """Final hidden representations plus group keys for a sample of impressions.
+
+    Models exposing ``final_representation`` (BASM) use it; for the rest the
+    concatenated field embeddings act as the final instance representation.
+    """
+    rng = np.random.default_rng(seed)
+    indices = np.arange(len(dataset))
+    if len(indices) > max_samples:
+        indices = rng.choice(indices, size=max_samples, replace=False)
+    subset = dataset.subset(np.sort(indices))
+    loader = DataLoader(subset, batch_size=batch_size, shuffle=False)
+    representations = []
+    periods = []
+    cities = []
+    for batch in loader:
+        if hasattr(model, "final_representation"):
+            hidden = model.final_representation(batch)
+        else:
+            from .. import nn
+
+            was_training = model.training
+            model.eval()
+            try:
+                with nn.no_grad():
+                    fields = model.embedder.field_embeddings(batch)
+                    hidden = np.array(model.concat_fields(fields).data)
+            finally:
+                model.train(was_training)
+        representations.append(hidden)
+        periods.append(batch["time_period"])
+        cities.append(batch["city"])
+    return (
+        np.concatenate(representations),
+        np.concatenate(periods),
+        np.concatenate(cities),
+    )
+
+
+def separation_report(
+    model: BaseCTRModel,
+    dataset: EncodedDataset,
+    group_key: str = "time_period",
+    max_samples: int = 1500,
+    use_tsne: bool = False,
+    seed: int = 0,
+) -> SeparationReport:
+    """Silhouette and scatter-ratio of the model's representations for a grouping."""
+    representations, periods, cities = collect_representations(
+        model, dataset, max_samples=max_samples, seed=seed
+    )
+    groups = periods if group_key == "time_period" else cities
+    features = representations
+    if use_tsne:
+        features = TSNE(n_components=2, n_iter=250, seed=seed).fit_transform(representations)
+    return SeparationReport(
+        model_name=model.name,
+        group_key=group_key,
+        silhouette=silhouette_score(features, groups),
+        scatter_ratio=scatter_separation_ratio(features, groups),
+        num_samples=len(features),
+    )

@@ -1,0 +1,120 @@
+"""StAEL spatiotemporal-weight heatmaps (paper Fig. 8 and Fig. 9).
+
+The paper visualises the mean gate weight ``alpha_j`` of each feature field
+over time-periods (Fig. 8b) and over cities (Fig. 9b), alongside user-activity
+statistics (Fig. 8a / 9a).  This module produces those grids as arrays/dicts
+from a trained BASM model and an evaluation dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..data.dataset import DataLoader
+from ..data.encoding import EncodedDataset
+from ..data.log import ImpressionLog
+from ..features.time_features import TimePeriod
+from ..models.basm import BASM
+
+__all__ = ["AlphaHeatmap", "stael_heatmap_by_group", "activity_statistics_by_period",
+           "activity_statistics_by_city"]
+
+
+@dataclass
+class AlphaHeatmap:
+    """Mean StAEL weight per (group value, field)."""
+
+    group_name: str
+    group_values: List[int]
+    field_names: List[str]
+    matrix: np.ndarray  # (num_groups, num_fields)
+
+    def as_rows(self) -> List[Dict[str, float]]:
+        rows = []
+        for row_index, group in enumerate(self.group_values):
+            row: Dict[str, float] = {self.group_name: group}
+            for column_index, field_name in enumerate(self.field_names):
+                row[field_name] = round(float(self.matrix[row_index, column_index]), 4)
+            rows.append(row)
+        return rows
+
+
+def stael_heatmap_by_group(
+    model: BASM,
+    dataset: EncodedDataset,
+    group_key: str,
+    batch_size: int = 2048,
+    max_batches: Optional[int] = None,
+) -> AlphaHeatmap:
+    """Average the per-sample alphas of every field within each group.
+
+    ``group_key`` is ``"time_period"`` for Fig. 8b or ``"city"`` for Fig. 9b.
+    """
+    if group_key not in {"time_period", "city", "hour"}:
+        raise ValueError(f"unsupported group key {group_key!r}")
+    loader = DataLoader(dataset, batch_size=batch_size, shuffle=False)
+    field_names: List[str] = list(model.embedder.field_dims().keys())
+    sums: Dict[int, np.ndarray] = {}
+    counts: Dict[int, int] = {}
+    for batch_number, batch in enumerate(loader):
+        if max_batches is not None and batch_number >= max_batches:
+            break
+        alphas = model.spatiotemporal_weights(batch)
+        stacked = np.stack([alphas[name] for name in field_names], axis=1)  # (B, F)
+        groups = batch[group_key]
+        for group in np.unique(groups):
+            mask = groups == group
+            sums.setdefault(int(group), np.zeros(len(field_names)))
+            sums[int(group)] += stacked[mask].sum(axis=0)
+            counts[int(group)] = counts.get(int(group), 0) + int(mask.sum())
+    group_values = sorted(sums)
+    matrix = np.stack(
+        [sums[group] / max(counts[group], 1) for group in group_values], axis=0
+    )
+    return AlphaHeatmap(
+        group_name=group_key,
+        group_values=group_values,
+        field_names=field_names,
+        matrix=matrix,
+    )
+
+
+def activity_statistics_by_period(log: ImpressionLog, order_rate: float = 0.3) -> List[Dict[str, float]]:
+    """Clicks and (approximate) orders per time-period (Fig. 8a)."""
+    periods = log.impression_period()
+    rows = []
+    for period in TimePeriod:
+        mask = periods == int(period)
+        clicks = float(log.label[mask].sum())
+        rows.append(
+            {
+                "time_period": period.display_name,
+                "clicks": clicks,
+                "orders": clicks * order_rate,
+                "exposures": int(mask.sum()),
+            }
+        )
+    return rows
+
+
+def activity_statistics_by_city(log: ImpressionLog) -> List[Dict[str, float]]:
+    """Per-user average clicks per city (Fig. 9a)."""
+    cities = log.impression_city()
+    users = log.impression_user()
+    rows = []
+    for city in sorted(np.unique(cities).tolist()):
+        mask = cities == city
+        unique_users = max(len(np.unique(users[mask])), 1)
+        clicks = float(log.label[mask].sum())
+        rows.append(
+            {
+                "city": int(city),
+                "clicks_per_user": clicks / unique_users,
+                "exposures": int(mask.sum()),
+                "users": unique_users,
+            }
+        )
+    return rows

@@ -1,0 +1,164 @@
+"""t-SNE and cluster-separation statistics (paper Fig. 10 and Fig. 11).
+
+The paper argues visually that BASM's final representations cluster by
+time-period and by city more cleanly than the base model's.  Because this
+environment is headless and scikit-learn is unavailable, we provide
+
+* a small exact t-SNE implementation (gradient descent on the KL divergence
+  between the high-dimensional and low-dimensional affinities), enough for a
+  few thousand sampled instances, and
+* quantitative separation scores (a silhouette-style score and the ratio of
+  between-class to within-class scatter) so the "more convergent within the
+  class and more dispersed among the classes" claim can be checked with a
+  number instead of a picture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+from scipy.spatial.distance import cdist
+
+__all__ = ["TSNE", "silhouette_score", "scatter_separation_ratio"]
+
+
+class TSNE:
+    """Exact t-SNE (Van der Maaten & Hinton, 2008) for small sample counts."""
+
+    def __init__(
+        self,
+        n_components: int = 2,
+        perplexity: float = 30.0,
+        learning_rate: float = 100.0,
+        n_iter: int = 300,
+        early_exaggeration: float = 4.0,
+        seed: int = 0,
+    ) -> None:
+        if n_components < 1:
+            raise ValueError("n_components must be >= 1")
+        if perplexity <= 1:
+            raise ValueError("perplexity must be > 1")
+        self.n_components = n_components
+        self.perplexity = perplexity
+        self.learning_rate = learning_rate
+        self.n_iter = n_iter
+        self.early_exaggeration = early_exaggeration
+        self.seed = seed
+
+    # ------------------------------------------------------------------ #
+    def _conditional_probabilities(self, distances: np.ndarray) -> np.ndarray:
+        """Binary-search the per-point bandwidths to match the target perplexity."""
+        count = distances.shape[0]
+        target_entropy = np.log(self.perplexity)
+        probabilities = np.zeros_like(distances)
+        for i in range(count):
+            beta_low, beta_high = 1e-20, 1e20
+            beta = 1.0
+            row = distances[i].copy()
+            row[i] = np.inf
+            for _ in range(50):
+                exponents = np.exp(-row * beta)
+                exponents[i] = 0.0
+                total = exponents.sum()
+                if total <= 0:
+                    beta *= 0.5
+                    continue
+                p = exponents / total
+                entropy = -np.sum(p[p > 0] * np.log(p[p > 0]))
+                if abs(entropy - target_entropy) < 1e-4:
+                    break
+                if entropy > target_entropy:
+                    beta_low = beta
+                    beta = beta * 2 if beta_high >= 1e20 else (beta + beta_high) / 2
+                else:
+                    beta_high = beta
+                    beta = beta / 2 if beta_low <= 1e-20 else (beta + beta_low) / 2
+            probabilities[i] = exponents / max(total, 1e-12)
+        return probabilities
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        """Embed ``features`` (n_samples, n_features) into ``n_components`` dims."""
+        features = np.asarray(features, dtype=np.float64)
+        count = features.shape[0]
+        if count < 5:
+            raise ValueError("t-SNE needs at least 5 samples")
+        perplexity = min(self.perplexity, (count - 1) / 3.0)
+        self_copy = TSNE(
+            self.n_components, perplexity, self.learning_rate,
+            self.n_iter, self.early_exaggeration, self.seed,
+        )
+        distances = cdist(features, features, metric="sqeuclidean")
+        conditional = self_copy._conditional_probabilities(distances)
+        joint = (conditional + conditional.T) / (2.0 * count)
+        joint = np.maximum(joint, 1e-12)
+
+        rng = np.random.default_rng(self.seed)
+        embedding = rng.normal(0.0, 1e-4, size=(count, self.n_components))
+        velocity = np.zeros_like(embedding)
+        momentum = 0.5
+        for iteration in range(self.n_iter):
+            exaggeration = self.early_exaggeration if iteration < 50 else 1.0
+            low_distances = cdist(embedding, embedding, metric="sqeuclidean")
+            inverse = 1.0 / (1.0 + low_distances)
+            np.fill_diagonal(inverse, 0.0)
+            q = inverse / max(inverse.sum(), 1e-12)
+            q = np.maximum(q, 1e-12)
+            coefficient = (exaggeration * joint - q) * inverse
+            gradient = 4.0 * (
+                np.diag(coefficient.sum(axis=1)) @ embedding - coefficient @ embedding
+            )
+            momentum = 0.5 if iteration < 100 else 0.8
+            velocity = momentum * velocity - self.learning_rate * gradient
+            embedding = embedding + velocity
+            embedding = embedding - embedding.mean(axis=0)
+        return embedding
+
+
+def silhouette_score(features: np.ndarray, labels: np.ndarray) -> float:
+    """Mean silhouette coefficient over all samples (euclidean distances)."""
+    features = np.asarray(features, dtype=np.float64)
+    labels = np.asarray(labels).reshape(-1)
+    if len(features) != len(labels):
+        raise ValueError("features and labels must align")
+    unique = np.unique(labels)
+    if len(unique) < 2:
+        return float("nan")
+    distances = cdist(features, features)
+    scores = []
+    for index in range(len(features)):
+        same = labels == labels[index]
+        same[index] = False
+        if not same.any():
+            continue
+        a = distances[index][same].mean()
+        b = np.inf
+        for other in unique:
+            if other == labels[index]:
+                continue
+            mask = labels == other
+            if mask.any():
+                b = min(b, distances[index][mask].mean())
+        denominator = max(a, b)
+        if denominator > 0 and np.isfinite(b):
+            scores.append((b - a) / denominator)
+    return float(np.mean(scores)) if scores else float("nan")
+
+
+def scatter_separation_ratio(features: np.ndarray, labels: np.ndarray) -> float:
+    """Between-class scatter over within-class scatter (higher = better separated)."""
+    features = np.asarray(features, dtype=np.float64)
+    labels = np.asarray(labels).reshape(-1)
+    overall_mean = features.mean(axis=0)
+    between = 0.0
+    within = 0.0
+    for label in np.unique(labels):
+        mask = labels == label
+        class_features = features[mask]
+        class_mean = class_features.mean(axis=0)
+        between += mask.sum() * float(((class_mean - overall_mean) ** 2).sum())
+        within += float(((class_features - class_mean) ** 2).sum())
+    if within == 0:
+        return float("nan")
+    return between / within

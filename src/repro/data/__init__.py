@@ -1,0 +1,40 @@
+"""Synthetic datasets, impression logs, encoding, and batching."""
+
+from .dataset import DataLoader
+from .encoding import EncodedDataset, encode_eleme_log, encode_public_log
+from .log import ImpressionLog, LogConfig, LogGenerator
+from .public import PublicDatasetConfig, PublicSyntheticDataset, make_public_dataset
+from .splits import last_day_split, temporal_split
+from .stats import (
+    DatasetStatistics,
+    compute_statistics,
+    exposure_ctr_by_city,
+    exposure_ctr_by_hour,
+)
+from .synthetic import ElemeDatasetConfig, ElemeSyntheticDataset, make_eleme_dataset
+from .world import RequestContext, SyntheticWorld, WorldConfig
+
+__all__ = [
+    "DataLoader",
+    "EncodedDataset",
+    "encode_eleme_log",
+    "encode_public_log",
+    "ImpressionLog",
+    "LogConfig",
+    "LogGenerator",
+    "PublicDatasetConfig",
+    "PublicSyntheticDataset",
+    "make_public_dataset",
+    "last_day_split",
+    "temporal_split",
+    "DatasetStatistics",
+    "compute_statistics",
+    "exposure_ctr_by_city",
+    "exposure_ctr_by_hour",
+    "ElemeDatasetConfig",
+    "ElemeSyntheticDataset",
+    "make_eleme_dataset",
+    "RequestContext",
+    "SyntheticWorld",
+    "WorldConfig",
+]

@@ -1,0 +1,331 @@
+"""Encode impression logs into model-ready, globally-indexed id arrays."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..features.buckets import bucketize, log_bucketize
+from ..features.crosses import (
+    cross_activity_time_period,
+    cross_category_match,
+    cross_distance_time_period,
+)
+from ..features.schema import FeatureSchema, FieldName
+from ..features.vocabulary import HashingVocabulary
+from .log import ImpressionLog
+from .world import SyntheticWorld
+
+__all__ = ["EncodedDataset", "encode_eleme_log", "encode_public_log"]
+
+
+@dataclass
+class EncodedDataset:
+    """Globally-indexed arrays for one dataset split.
+
+    Behaviour sequences are stored per *session* and joined through
+    ``session_index`` at batch time, which keeps memory proportional to the
+    number of requests instead of the number of impressions.
+    """
+
+    schema: FeatureSchema
+    field_ids: Dict[str, np.ndarray]          # field name -> (num_impressions, k)
+    behavior_ids: np.ndarray                  # (num_sessions, L, k_seq)
+    behavior_mask: np.ndarray                 # (num_sessions, L)
+    behavior_st_mask: np.ndarray              # (num_sessions, L)
+    session_index: np.ndarray                 # (num_impressions,)
+    labels: np.ndarray                        # (num_impressions,)
+    time_period: np.ndarray                   # (num_impressions,)
+    city: np.ndarray                          # (num_impressions,)
+    hour: np.ndarray                          # (num_impressions,)
+    day: np.ndarray                           # (num_impressions,)
+    position: np.ndarray                      # (num_impressions,)
+
+    def __post_init__(self) -> None:
+        count = len(self.labels)
+        for name, array in self.field_ids.items():
+            if array.shape[0] != count:
+                raise ValueError(f"field {name!r} has {array.shape[0]} rows, expected {count}")
+        for name in ("session_index", "time_period", "city", "hour", "day", "position"):
+            if len(getattr(self, name)) != count:
+                raise ValueError(f"{name} length mismatch")
+
+    def __len__(self) -> int:
+        return int(len(self.labels))
+
+    @property
+    def num_sessions(self) -> int:
+        return int(self.behavior_ids.shape[0])
+
+    @property
+    def overall_ctr(self) -> float:
+        return float(self.labels.mean()) if len(self.labels) else 0.0
+
+    # ------------------------------------------------------------------ #
+    def subset(self, indices: np.ndarray) -> "EncodedDataset":
+        """Impression-level subset (sessions are kept whole for reuse)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return EncodedDataset(
+            schema=self.schema,
+            field_ids={name: array[indices] for name, array in self.field_ids.items()},
+            behavior_ids=self.behavior_ids,
+            behavior_mask=self.behavior_mask,
+            behavior_st_mask=self.behavior_st_mask,
+            session_index=self.session_index[indices],
+            labels=self.labels[indices],
+            time_period=self.time_period[indices],
+            city=self.city[indices],
+            hour=self.hour[indices],
+            day=self.day[indices],
+            position=self.position[indices],
+        )
+
+    def split_by_day(self, test_days: Sequence[int]):
+        """Temporal split: impressions of ``test_days`` become the test set."""
+        test_days = set(int(d) for d in test_days)
+        is_test = np.array([int(d) in test_days for d in self.day])
+        train = self.subset(np.where(~is_test)[0])
+        test = self.subset(np.where(is_test)[0])
+        return train, test
+
+    def batch(self, indices: np.ndarray) -> Dict[str, np.ndarray]:
+        """Assemble the model input dict for the given impression indices."""
+        indices = np.asarray(indices, dtype=np.int64)
+        sessions = self.session_index[indices]
+        return {
+            "fields": {name: array[indices] for name, array in self.field_ids.items()},
+            "behavior": self.behavior_ids[sessions],
+            "behavior_mask": self.behavior_mask[sessions],
+            "behavior_st_mask": self.behavior_st_mask[sessions],
+            "labels": self.labels[indices],
+            "time_period": self.time_period[indices],
+            "city": self.city[indices],
+            "hour": self.hour[indices],
+            "session": sessions,
+            "position": self.position[indices],
+        }
+
+
+# ---------------------------------------------------------------------- #
+# shared helpers
+# ---------------------------------------------------------------------- #
+def _prior_item_clicks(log: ImpressionLog, num_items: int) -> np.ndarray:
+    """Clicks each item accumulated on days strictly before each impression.
+
+    This reproduces the "statistics of shop's clicking" features without
+    leaking same-day labels into the input.
+    """
+    days = log.impression_day()
+    min_day, max_day = int(days.min()), int(days.max())
+    num_days = max_day - min_day + 1
+    per_day = np.zeros((num_items, num_days), dtype=np.int64)
+    np.add.at(per_day, (log.item_index, days - min_day), log.label.astype(np.int64))
+    cumulative = np.cumsum(per_day, axis=1)
+    day_offset = days - min_day
+    prior = np.where(
+        day_offset > 0,
+        cumulative[log.item_index, np.maximum(day_offset - 1, 0)],
+        0,
+    )
+    return prior
+
+
+def _encode_behavior(log: ImpressionLog, schema: FeatureSchema,
+                     column_features: Sequence[str], columns: Sequence[int]) -> np.ndarray:
+    """Translate the raw behaviour columns into global ids for ``schema``."""
+    raw = log.behavior_raw[:, :, list(columns)]
+    encoded = np.zeros_like(raw)
+    for output_column, feature_name in enumerate(column_features):
+        spec = schema.spec(feature_name)
+        local = np.clip(raw[:, :, output_column], 0, spec.vocab_size - 1)
+        encoded[:, :, output_column] = schema.global_ids(feature_name, local)
+    return encoded
+
+
+def _geohash_ids(log: ImpressionLog, schema: FeatureSchema, feature_name: str) -> np.ndarray:
+    spec = schema.spec(feature_name)
+    vocabulary = HashingVocabulary(spec.vocab_size, name=feature_name)
+    session_ids = vocabulary.lookup_array(log.session_geohash)
+    return session_ids[log.session_index]
+
+
+# ---------------------------------------------------------------------- #
+# Ele.me-style encoding
+# ---------------------------------------------------------------------- #
+def encode_eleme_log(log: ImpressionLog, world: SyntheticWorld, schema: FeatureSchema) -> EncodedDataset:
+    """Encode an impression log with the rich Ele.me schema (Table I)."""
+    users = log.impression_user()
+    items = log.item_index
+    periods = log.impression_period()
+    hours = log.impression_hour()
+    cities = log.impression_city()
+    distance_norm = log.distance / (2.0 * world.config.city_radius_degrees)
+    distance_bucket = np.clip(bucketize(distance_norm, np.linspace(0.2, 1.8, 9)), 1, 10)
+    price_bucket = np.clip(bucketize(world.item_price[items], np.linspace(0.1, 0.9, 9)), 1, 10)
+    quality_bucket = np.clip(bucketize(world.item_quality[items], np.linspace(0.1, 0.9, 9)), 1, 10)
+    prior_clicks = _prior_item_clicks(log, world.config.num_items)
+    click_bucket = log_bucketize(prior_clicks, 10)
+    user_clicks = log.session_user_clicks[log.session_index]
+    user_orders = log.session_user_orders[log.session_index]
+
+    def gid(name: str, local: np.ndarray) -> np.ndarray:
+        spec = schema.spec(name)
+        return schema.global_ids(name, np.clip(local, 0, spec.vocab_size - 1))
+
+    user_field = np.stack(
+        [
+            gid("user_id", users + 1),
+            gid("user_gender", world.user_gender[users]),
+            gid("user_age_bucket", world.user_age_bucket[users]),
+            gid("user_order_count_bucket", log_bucketize(user_orders, 11)),
+            gid("user_click_count_bucket", log_bucketize(user_clicks, 11)),
+            gid("user_active_level", world.user_active_level[users]),
+        ],
+        axis=1,
+    )
+    item_field = np.stack(
+        [
+            gid("item_id", items + 1),
+            gid("item_category", world.item_category[items] + 1),
+            gid("item_brand", world.item_brand[items] + 1),
+            gid("item_price_bucket", price_bucket),
+            gid("shop_quality_bucket", quality_bucket),
+            gid("shop_click_bucket", click_bucket),
+            gid("item_distance_bucket", distance_bucket),
+            gid("item_position", log.position + 1),
+        ],
+        axis=1,
+    )
+    weekday = log.session_weekday[log.session_index]
+    context_field = np.stack(
+        [
+            gid("ctx_time_period", periods + 1),
+            gid("ctx_hour", hours + 1),
+            gid("ctx_city_id", cities + 1),
+            schema.global_ids("ctx_geohash", _geohash_ids(log, schema, "ctx_geohash")),
+            gid("ctx_weekday", weekday + 1),
+            gid("ctx_is_weekend", (weekday >= 5).astype(np.int64) + 1),
+        ],
+        axis=1,
+    )
+    combine_field = np.stack(
+        [
+            gid(
+                "cross_user_activity_x_period",
+                cross_activity_time_period(world.user_active_level[users], periods),
+            ),
+            gid(
+                "cross_category_match",
+                cross_category_match(world.user_top_category[users], world.item_category[items]),
+            ),
+            gid(
+                "cross_distance_x_period",
+                cross_distance_time_period(distance_bucket, periods),
+            ),
+        ],
+        axis=1,
+    )
+    behavior = _encode_behavior(
+        log,
+        schema,
+        ["seq_item_id", "seq_category", "seq_brand", "seq_time_period", "seq_hour", "seq_city_id"],
+        columns=[0, 1, 2, 3, 4, 5],
+    )
+    return EncodedDataset(
+        schema=schema,
+        field_ids={
+            FieldName.USER: user_field,
+            FieldName.CANDIDATE_ITEM: item_field,
+            FieldName.CONTEXT: context_field,
+            FieldName.COMBINE: combine_field,
+        },
+        behavior_ids=behavior,
+        behavior_mask=log.behavior_mask,
+        behavior_st_mask=log.behavior_st_mask,
+        session_index=log.session_index,
+        labels=log.label.astype(np.float32),
+        time_period=periods,
+        city=cities,
+        hour=hours,
+        day=log.impression_day(),
+        position=log.position,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# public-data-style encoding
+# ---------------------------------------------------------------------- #
+def encode_public_log(log: ImpressionLog, world: SyntheticWorld, schema: FeatureSchema) -> EncodedDataset:
+    """Encode an impression log with the leaner public-data schema."""
+    users = log.impression_user()
+    items = log.item_index
+    periods = log.impression_period()
+    hours = log.impression_hour()
+    cities = log.impression_city()
+    prior_clicks = _prior_item_clicks(log, world.config.num_items)
+    user_clicks = log.session_user_clicks[log.session_index]
+
+    def gid(name: str, local: np.ndarray) -> np.ndarray:
+        spec = schema.spec(name)
+        return schema.global_ids(name, np.clip(local, 0, spec.vocab_size - 1))
+
+    user_field = np.stack(
+        [
+            gid("user_id", users + 1),
+            gid("user_click_count_bucket", log_bucketize(user_clicks, 9)),
+        ],
+        axis=1,
+    )
+    item_field = np.stack(
+        [
+            gid("item_id", items + 1),
+            gid("item_category", world.item_category[items] + 1),
+            gid("item_popularity_bucket", log_bucketize(prior_clicks, 10)),
+        ],
+        axis=1,
+    )
+    context_field = np.stack(
+        [
+            gid("ctx_time_period", periods + 1),
+            gid("ctx_hour", hours + 1),
+            gid("ctx_city_id", cities + 1),
+            schema.global_ids("ctx_geohash", _geohash_ids(log, schema, "ctx_geohash")),
+        ],
+        axis=1,
+    )
+    combine_field = np.stack(
+        [
+            gid(
+                "cross_category_match",
+                cross_category_match(world.user_top_category[users], world.item_category[items]),
+            ),
+        ],
+        axis=1,
+    )
+    behavior = _encode_behavior(
+        log,
+        schema,
+        ["seq_item_id", "seq_category", "seq_time_period", "seq_city_id"],
+        columns=[0, 1, 3, 5],
+    )
+    return EncodedDataset(
+        schema=schema,
+        field_ids={
+            FieldName.USER: user_field,
+            FieldName.CANDIDATE_ITEM: item_field,
+            FieldName.CONTEXT: context_field,
+            FieldName.COMBINE: combine_field,
+        },
+        behavior_ids=behavior,
+        behavior_mask=log.behavior_mask,
+        behavior_st_mask=log.behavior_st_mask,
+        session_index=log.session_index,
+        labels=log.label.astype(np.float32),
+        time_period=periods,
+        city=cities,
+        hour=hours,
+        day=log.impression_day(),
+        position=log.position,
+    )

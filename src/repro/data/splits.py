@@ -1,0 +1,34 @@
+"""Temporal train/test splitting.
+
+The paper trains on a window of days and tests on the following day (45+1 on
+Ele.me, 7+1 on the public data).  The reproduction keeps the same protocol at
+smaller scale: the last simulated day is always the test day.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .encoding import EncodedDataset
+
+__all__ = ["temporal_split", "last_day_split"]
+
+
+def temporal_split(dataset: EncodedDataset, num_test_days: int = 1) -> Tuple[EncodedDataset, EncodedDataset]:
+    """Split so the final ``num_test_days`` days form the test set."""
+    if num_test_days < 1:
+        raise ValueError("num_test_days must be >= 1")
+    days = np.unique(dataset.day)
+    if len(days) <= num_test_days:
+        raise ValueError(
+            f"dataset has {len(days)} day(s); cannot hold out {num_test_days} test day(s)"
+        )
+    test_days = days[-num_test_days:]
+    return dataset.split_by_day(test_days)
+
+
+def last_day_split(dataset: EncodedDataset) -> Tuple[EncodedDataset, EncodedDataset]:
+    """The paper's protocol: train on all days but the last, test on the last."""
+    return temporal_split(dataset, num_test_days=1)

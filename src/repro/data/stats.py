@@ -1,0 +1,75 @@
+"""Dataset statistics in the style of the paper's Table III and Fig. 2."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from ..features.schema import FeatureSchema
+from ..features.time_features import TimePeriod
+from .log import ImpressionLog
+
+__all__ = ["DatasetStatistics", "compute_statistics", "exposure_ctr_by_hour", "exposure_ctr_by_city"]
+
+
+@dataclass
+class DatasetStatistics:
+    """The Table III row for one dataset."""
+
+    name: str
+    total_size: int
+    num_features: int
+    num_users: int
+    num_items: int
+    num_clicks: int
+    mean_behavior_length: float
+
+    def as_row(self) -> Dict[str, float]:
+        return {
+            "Datasets": self.name,
+            "Total Size": self.total_size,
+            "#Feature": self.num_features,
+            "#Users": self.num_users,
+            "#Items": self.num_items,
+            "#Clicks": self.num_clicks,
+            "ML of User Behaviors": round(self.mean_behavior_length, 2),
+        }
+
+
+def compute_statistics(name: str, log: ImpressionLog, schema: FeatureSchema) -> DatasetStatistics:
+    """Compute the Table III statistics for a simulated log."""
+    return DatasetStatistics(
+        name=name,
+        total_size=log.num_impressions,
+        num_features=len(schema.features) + len(schema.sequence_features),
+        num_users=int(len(np.unique(log.session_user))),
+        num_items=int(len(np.unique(log.item_index))),
+        num_clicks=log.num_clicks,
+        mean_behavior_length=log.mean_behavior_length(),
+    )
+
+
+def exposure_ctr_by_hour(log: ImpressionLog) -> Dict[int, Dict[str, float]]:
+    """Exposure count and CTR per hour of day (Fig. 2a)."""
+    hours = log.impression_hour()
+    result: Dict[int, Dict[str, float]] = {}
+    for hour in range(24):
+        mask = hours == hour
+        exposures = int(mask.sum())
+        ctr = float(log.label[mask].mean()) if exposures else 0.0
+        result[hour] = {"exposures": exposures, "ctr": ctr}
+    return result
+
+
+def exposure_ctr_by_city(log: ImpressionLog) -> Dict[int, Dict[str, float]]:
+    """Exposure count and CTR per city (Fig. 2b)."""
+    cities = log.impression_city()
+    result: Dict[int, Dict[str, float]] = {}
+    for city in sorted(np.unique(cities).tolist()):
+        mask = cities == city
+        exposures = int(mask.sum())
+        ctr = float(log.label[mask].mean()) if exposures else 0.0
+        result[int(city)] = {"exposures": exposures, "ctr": ctr}
+    return result

@@ -1,0 +1,100 @@
+"""High-level factory for the synthetic Ele.me-style dataset.
+
+This is the public entry point most examples and benchmarks use: one call
+builds the world, simulates the impression log, encodes it with the Ele.me
+schema, and returns train/test splits using the paper's last-day protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..features.schema import FeatureSchema, eleme_schema
+from .encoding import EncodedDataset, encode_eleme_log
+from .log import ImpressionLog, LogConfig, LogGenerator
+from .stats import DatasetStatistics, compute_statistics
+from .world import SyntheticWorld, WorldConfig
+
+__all__ = ["ElemeDatasetConfig", "ElemeSyntheticDataset", "make_eleme_dataset"]
+
+
+@dataclass
+class ElemeDatasetConfig:
+    """Size knobs for the Ele.me-style synthetic dataset."""
+
+    num_users: int = 8000
+    num_items: int = 2000
+    num_cities: int = 6
+    num_categories: int = 12
+    num_brands: int = 150
+    num_days: int = 8
+    sessions_per_day: int = 1000
+    candidates_per_session: int = 10
+    max_behavior_length: int = 30
+    seed: int = 7
+
+    def world_config(self) -> WorldConfig:
+        return WorldConfig(
+            num_users=self.num_users,
+            num_items=self.num_items,
+            num_cities=self.num_cities,
+            num_categories=self.num_categories,
+            num_brands=self.num_brands,
+            seed=self.seed,
+        )
+
+    def log_config(self) -> LogConfig:
+        return LogConfig(
+            num_days=self.num_days,
+            sessions_per_day=self.sessions_per_day,
+            candidates_per_session=self.candidates_per_session,
+            max_behavior_length=self.max_behavior_length,
+            seed=self.seed + 1,
+        )
+
+    def schema(self) -> FeatureSchema:
+        return eleme_schema(
+            num_users=self.num_users,
+            num_items=self.num_items,
+            num_cities=self.num_cities,
+            num_categories=self.num_categories,
+            num_brands=self.num_brands,
+            max_sequence_length=self.max_behavior_length,
+        )
+
+
+@dataclass
+class ElemeSyntheticDataset:
+    """Everything produced for one synthetic Ele.me dataset."""
+
+    config: ElemeDatasetConfig
+    world: SyntheticWorld
+    log: ImpressionLog
+    schema: FeatureSchema
+    full: EncodedDataset
+    train: EncodedDataset
+    test: EncodedDataset
+
+    def statistics(self) -> DatasetStatistics:
+        return compute_statistics("Ele.me (synthetic)", self.log, self.schema)
+
+
+def make_eleme_dataset(config: Optional[ElemeDatasetConfig] = None) -> ElemeSyntheticDataset:
+    """Build the synthetic Ele.me dataset end-to-end (world -> log -> encoding)."""
+    config = config or ElemeDatasetConfig()
+    world = SyntheticWorld(config.world_config())
+    generator = LogGenerator(world, config.log_config())
+    log = generator.simulate()
+    schema = config.schema()
+    encoded = encode_eleme_log(log, world, schema)
+    train, test = encoded.split_by_day([int(encoded.day.max())])
+    return ElemeSyntheticDataset(
+        config=config,
+        world=world,
+        log=log,
+        schema=schema,
+        full=encoded,
+        train=train,
+        test=test,
+    )

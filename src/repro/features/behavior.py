@@ -1,0 +1,123 @@
+"""User behaviour sequences and spatiotemporal filtering.
+
+BASM's StSTL (paper Section II-C) filters the user's historical behaviours by
+the *current* request's time-period and geohash to build a "personalized
+spatiotemporal filtering behaviour" representation.  This module provides the
+behaviour-event container, padding/truncation to fixed-length arrays, and the
+spatiotemporal match masks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["BehaviorEvent", "BehaviorSequence", "spatiotemporal_match_mask"]
+
+
+@dataclass(frozen=True)
+class BehaviorEvent:
+    """One historical click: item attributes plus its spatiotemporal context."""
+
+    item_id: int
+    category: int
+    brand: int
+    time_period: int
+    hour: int
+    city_id: int
+    geohash: str
+    timestamp: float = 0.0
+
+
+class BehaviorSequence:
+    """An ordered (oldest-first) list of :class:`BehaviorEvent`."""
+
+    def __init__(self, events: Optional[Sequence[BehaviorEvent]] = None) -> None:
+        self.events: List[BehaviorEvent] = list(events or [])
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def append(self, event: BehaviorEvent) -> None:
+        self.events.append(event)
+
+    def recent(self, count: int) -> "BehaviorSequence":
+        """The most recent ``count`` events (still oldest-first)."""
+        if count <= 0:
+            return BehaviorSequence([])
+        return BehaviorSequence(self.events[-count:])
+
+    def mean_length(self) -> int:
+        return len(self.events)
+
+    # ------------------------------------------------------------------ #
+    # spatiotemporal filtering (StSTL input)
+    # ------------------------------------------------------------------ #
+    def filter_spatiotemporal(
+        self,
+        time_period: int,
+        geohash: str,
+        geohash_prefix_length: int = 4,
+    ) -> "BehaviorSequence":
+        """Behaviours that match the request's time-period and geohash prefix.
+
+        The paper filters by time-period and geohash; using a geohash *prefix*
+        makes "same area" robust to the exact cell boundary.
+        """
+        prefix = geohash[:geohash_prefix_length]
+        matched = [
+            event
+            for event in self.events
+            if event.time_period == time_period and event.geohash[:geohash_prefix_length] == prefix
+        ]
+        return BehaviorSequence(matched)
+
+    # ------------------------------------------------------------------ #
+    # array conversion
+    # ------------------------------------------------------------------ #
+    def to_arrays(self, max_length: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Pad/truncate to ``(max_length, 6)`` local-id array plus a mask.
+
+        Column order matches the ``seq_*`` features of the Ele.me schema:
+        item_id, category, brand, time_period, hour, city_id.  Every raw value
+        is shifted by one so that 0 stays the reserved padding id, matching
+        the convention of :class:`repro.data.LogGenerator`.
+        """
+        ids = np.zeros((max_length, 6), dtype=np.int64)
+        mask = np.zeros(max_length, dtype=np.float32)
+        recent = self.events[-max_length:]
+        for row, event in enumerate(recent):
+            ids[row] = (
+                event.item_id + 1,
+                event.category + 1,
+                event.brand + 1,
+                event.time_period + 1,
+                event.hour + 1,
+                event.city_id + 1,
+            )
+            mask[row] = 1.0
+        return ids, mask
+
+
+def spatiotemporal_match_mask(
+    sequence_time_periods: np.ndarray,
+    sequence_geohash_cells: np.ndarray,
+    sequence_mask: np.ndarray,
+    request_time_period: np.ndarray,
+    request_geohash_cell: np.ndarray,
+) -> np.ndarray:
+    """Vectorised spatiotemporal filter over already-encoded batches.
+
+    Parameters are integer-coded: ``sequence_time_periods`` and
+    ``sequence_geohash_cells`` have shape ``(batch, seq_len)``; the request
+    arrays have shape ``(batch,)``.  Returns a float mask of shape
+    ``(batch, seq_len)`` that is 1 only where the behaviour is real (per
+    ``sequence_mask``) *and* matches both the request time-period and geohash
+    cell.
+    """
+    sequence_mask = np.asarray(sequence_mask, dtype=np.float32)
+    period_match = sequence_time_periods == np.asarray(request_time_period)[:, None]
+    cell_match = sequence_geohash_cells == np.asarray(request_geohash_cell)[:, None]
+    return (sequence_mask * period_match * cell_match).astype(np.float32)

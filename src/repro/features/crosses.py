@@ -1,0 +1,48 @@
+"""Hand-selected combine (cross) features between users and items.
+
+Table I's "Combine Feature" field contains hand-crafted crosses; we implement
+the three used by the synthetic generators.  All helpers are vectorised and
+return *local* ids (0 reserved for padding/unknown) which the schema later
+shifts into the global id space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "cross_activity_time_period",
+    "cross_category_match",
+    "cross_distance_time_period",
+]
+
+
+def cross_activity_time_period(active_level: np.ndarray, time_period: np.ndarray,
+                               num_levels: int = 5, num_periods: int = 5) -> np.ndarray:
+    """Cross of user activity level (1-based bucket) and time-period (0-based)."""
+    active_level = np.asarray(active_level, dtype=np.int64)
+    time_period = np.asarray(time_period, dtype=np.int64)
+    if active_level.size and (active_level.min() < 1 or active_level.max() > num_levels):
+        raise ValueError(f"active_level out of range [1, {num_levels}]")
+    if time_period.size and (time_period.min() < 0 or time_period.max() >= num_periods):
+        raise ValueError(f"time_period out of range [0, {num_periods})")
+    return (active_level - 1) * num_periods + time_period + 1
+
+
+def cross_category_match(user_top_category: np.ndarray, item_category: np.ndarray) -> np.ndarray:
+    """1 + indicator that the candidate's category equals the user's favourite.
+
+    Returns 1 (no match) or 2 (match); 0 stays reserved for padding.
+    """
+    match = np.asarray(user_top_category) == np.asarray(item_category)
+    return match.astype(np.int64) + 1
+
+
+def cross_distance_time_period(distance_bucket: np.ndarray, time_period: np.ndarray,
+                               num_distance_buckets: int = 10, num_periods: int = 5) -> np.ndarray:
+    """Cross of the item distance bucket (1-based) and time-period (0-based)."""
+    distance_bucket = np.asarray(distance_bucket, dtype=np.int64)
+    time_period = np.asarray(time_period, dtype=np.int64)
+    if distance_bucket.size and (distance_bucket.min() < 1 or distance_bucket.max() > num_distance_buckets):
+        raise ValueError(f"distance_bucket out of range [1, {num_distance_buckets}]")
+    return (distance_bucket - 1) * num_periods + time_period + 1

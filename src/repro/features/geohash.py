@@ -1,0 +1,143 @@
+"""Geohash encoding / decoding.
+
+Ele.me's context field contains a geohash of the request location (Table I);
+BASM's StSTL additionally filters the user behaviour sequence by geohash
+match.  This is a from-scratch implementation of the standard base-32 geohash
+(no external dependency), including decoding and neighbour computation so the
+location-based recall in :mod:`repro.serving` can find nearby shops.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = [
+    "geohash_encode",
+    "geohash_decode",
+    "geohash_neighbors",
+    "geohash_distance_km",
+    "haversine_km",
+]
+
+_BASE32 = "0123456789bcdefghjkmnpqrstuvwxyz"
+_BASE32_INDEX = {char: index for index, char in enumerate(_BASE32)}
+
+
+def geohash_encode(latitude: float, longitude: float, precision: int = 6) -> str:
+    """Encode a latitude/longitude pair into a geohash string."""
+    if not -90.0 <= latitude <= 90.0:
+        raise ValueError(f"latitude out of range: {latitude}")
+    if not -180.0 <= longitude <= 180.0:
+        raise ValueError(f"longitude out of range: {longitude}")
+    if precision < 1 or precision > 12:
+        raise ValueError(f"precision must be in [1, 12], got {precision}")
+
+    lat_interval = [-90.0, 90.0]
+    lon_interval = [-180.0, 180.0]
+    bits = []
+    even = True
+    while len(bits) < precision * 5:
+        if even:
+            mid = (lon_interval[0] + lon_interval[1]) / 2
+            if longitude >= mid:
+                bits.append(1)
+                lon_interval[0] = mid
+            else:
+                bits.append(0)
+                lon_interval[1] = mid
+        else:
+            mid = (lat_interval[0] + lat_interval[1]) / 2
+            if latitude >= mid:
+                bits.append(1)
+                lat_interval[0] = mid
+            else:
+                bits.append(0)
+                lat_interval[1] = mid
+        even = not even
+
+    chars = []
+    for index in range(precision):
+        chunk = bits[index * 5:(index + 1) * 5]
+        value = 0
+        for bit in chunk:
+            value = (value << 1) | bit
+        chars.append(_BASE32[value])
+    return "".join(chars)
+
+
+def geohash_decode(geohash: str) -> Tuple[float, float]:
+    """Decode a geohash into the (latitude, longitude) of its cell centre."""
+    if not geohash:
+        raise ValueError("geohash must be a non-empty string")
+    lat_interval = [-90.0, 90.0]
+    lon_interval = [-180.0, 180.0]
+    even = True
+    for char in geohash:
+        try:
+            value = _BASE32_INDEX[char]
+        except KeyError as exc:
+            raise ValueError(f"invalid geohash character {char!r}") from exc
+        for shift in range(4, -1, -1):
+            bit = (value >> shift) & 1
+            interval = lon_interval if even else lat_interval
+            mid = (interval[0] + interval[1]) / 2
+            if bit:
+                interval[0] = mid
+            else:
+                interval[1] = mid
+            even = not even
+    latitude = (lat_interval[0] + lat_interval[1]) / 2
+    longitude = (lon_interval[0] + lon_interval[1]) / 2
+    return latitude, longitude
+
+
+def _cell_size(precision: int) -> Tuple[float, float]:
+    """Approximate (lat, lon) span in degrees of a geohash cell."""
+    lat_bits = (precision * 5) // 2
+    lon_bits = precision * 5 - lat_bits
+    return 180.0 / (2 ** lat_bits), 360.0 / (2 ** lon_bits)
+
+
+def geohash_neighbors(geohash: str) -> List[str]:
+    """Return the 8 surrounding geohash cells (same precision)."""
+    precision = len(geohash)
+    latitude, longitude = geohash_decode(geohash)
+    lat_step, lon_step = _cell_size(precision)
+    neighbors = []
+    for d_lat in (-lat_step, 0.0, lat_step):
+        for d_lon in (-lon_step, 0.0, lon_step):
+            if d_lat == 0.0 and d_lon == 0.0:
+                continue
+            new_lat = min(max(latitude + d_lat, -90.0), 90.0)
+            new_lon = longitude + d_lon
+            if new_lon > 180.0:
+                new_lon -= 360.0
+            elif new_lon < -180.0:
+                new_lon += 360.0
+            neighbors.append(geohash_encode(new_lat, new_lon, precision))
+    # Deduplicate while preserving order (cells collapse near the poles).
+    seen = set()
+    unique = []
+    for cell in neighbors:
+        if cell not in seen and cell != geohash:
+            seen.add(cell)
+            unique.append(cell)
+    return unique
+
+
+def haversine_km(lat1, lon1, lat2, lon2) -> np.ndarray:
+    """Great-circle distance in kilometres (vectorised)."""
+    lat1, lon1, lat2, lon2 = (np.radians(np.asarray(x, dtype=np.float64)) for x in (lat1, lon1, lat2, lon2))
+    d_lat = lat2 - lat1
+    d_lon = lon2 - lon1
+    a = np.sin(d_lat / 2) ** 2 + np.cos(lat1) * np.cos(lat2) * np.sin(d_lon / 2) ** 2
+    return 2.0 * 6371.0 * np.arcsin(np.sqrt(np.clip(a, 0.0, 1.0)))
+
+
+def geohash_distance_km(geohash_a: str, geohash_b: str) -> float:
+    """Distance between the centres of two geohash cells."""
+    lat_a, lon_a = geohash_decode(geohash_a)
+    lat_b, lon_b = geohash_decode(geohash_b)
+    return float(haversine_km(lat_a, lon_a, lat_b, lon_b))

@@ -1,0 +1,97 @@
+"""Temporal feature engineering.
+
+The paper divides the day into five *time-periods* — breakfast, lunch,
+afternoon tea, dinner, and night — and uses them both as a context feature and
+as the grouping key for the TAUC metric and the STAR baseline's scenario
+split.  This module owns that bucketing plus a few derived temporal features.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Iterable, List
+
+import numpy as np
+
+__all__ = [
+    "TimePeriod",
+    "TIME_PERIODS",
+    "hour_to_time_period",
+    "hours_of_time_period",
+    "cyclical_hour_encoding",
+    "is_mealtime",
+]
+
+
+class TimePeriod(IntEnum):
+    """The five OFOS time-periods used throughout the paper."""
+
+    BREAKFAST = 0
+    LUNCH = 1
+    AFTERNOON_TEA = 2
+    DINNER = 3
+    NIGHT = 4
+
+    @property
+    def display_name(self) -> str:
+        return _DISPLAY_NAMES[self]
+
+
+_DISPLAY_NAMES = {
+    TimePeriod.BREAKFAST: "Breakfast",
+    TimePeriod.LUNCH: "Lunch",
+    TimePeriod.AFTERNOON_TEA: "AfternoonTea",
+    TimePeriod.DINNER: "Dinner",
+    TimePeriod.NIGHT: "Night",
+}
+
+TIME_PERIODS: List[TimePeriod] = list(TimePeriod)
+
+# Hour boundaries (inclusive start, exclusive end) for each time-period.
+_HOUR_RANGES = {
+    TimePeriod.BREAKFAST: (5, 10),
+    TimePeriod.LUNCH: (10, 14),
+    TimePeriod.AFTERNOON_TEA: (14, 17),
+    TimePeriod.DINNER: (17, 21),
+    # Night wraps around midnight: 21..24 and 0..5.
+    TimePeriod.NIGHT: (21, 29),
+}
+
+
+def hour_to_time_period(hour) -> np.ndarray:
+    """Map hour-of-day (0-23) to :class:`TimePeriod` values.
+
+    Accepts scalars or arrays and always returns an ``int64`` numpy array of
+    the same shape (a 0-d array for scalars).
+    """
+    hours = np.asarray(hour, dtype=np.int64)
+    if hours.size and (hours.min() < 0 or hours.max() > 23):
+        raise ValueError(f"hours must be in [0, 23], got range [{hours.min()}, {hours.max()}]")
+    result = np.full(hours.shape, int(TimePeriod.NIGHT), dtype=np.int64)
+    for period, (start, end) in _HOUR_RANGES.items():
+        if period is TimePeriod.NIGHT:
+            continue
+        result = np.where((hours >= start) & (hours < end), int(period), result)
+    return result
+
+
+def hours_of_time_period(period: TimePeriod) -> List[int]:
+    """Return the list of hours belonging to ``period``."""
+    start, end = _HOUR_RANGES[TimePeriod(period)]
+    return [hour % 24 for hour in range(start, end)]
+
+
+def cyclical_hour_encoding(hour) -> np.ndarray:
+    """Encode hour-of-day on the unit circle: ``(sin, cos)`` pairs.
+
+    Useful as a dense context feature; shape is ``hour.shape + (2,)``.
+    """
+    hours = np.asarray(hour, dtype=np.float64)
+    angle = 2.0 * np.pi * hours / 24.0
+    return np.stack([np.sin(angle), np.cos(angle)], axis=-1).astype(np.float32)
+
+
+def is_mealtime(hour) -> np.ndarray:
+    """1 for lunch/dinner hours, 0 otherwise — the high-intent periods of Fig. 2."""
+    periods = hour_to_time_period(hour)
+    return ((periods == int(TimePeriod.LUNCH)) | (periods == int(TimePeriod.DINNER))).astype(np.int64)

@@ -1,0 +1,98 @@
+"""Vocabularies mapping raw categorical values to dense integer ids.
+
+Index 0 is always reserved for padding / unknown values, matching the
+padding convention of :class:`repro.nn.Embedding`.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Hashable, Iterable, List, Optional
+
+import numpy as np
+
+__all__ = ["Vocabulary", "HashingVocabulary"]
+
+PAD_INDEX = 0
+
+
+class Vocabulary:
+    """An insertion-ordered mapping ``raw value -> id`` with id 0 reserved."""
+
+    def __init__(self, name: str = "vocab") -> None:
+        self.name = name
+        self._index: Dict[Hashable, int] = {}
+        self._values: List[Hashable] = []
+        self._frozen = False
+
+    def __len__(self) -> int:
+        """Vocabulary size *including* the reserved padding/unknown slot."""
+        return len(self._values) + 1
+
+    def __contains__(self, value: Hashable) -> bool:
+        return value in self._index
+
+    def add(self, value: Hashable) -> int:
+        """Insert ``value`` if new and return its id."""
+        if value in self._index:
+            return self._index[value]
+        if self._frozen:
+            return PAD_INDEX
+        new_id = len(self._values) + 1
+        self._index[value] = new_id
+        self._values.append(value)
+        return new_id
+
+    def add_all(self, values: Iterable[Hashable]) -> None:
+        for value in values:
+            self.add(value)
+
+    def lookup(self, value: Hashable) -> int:
+        """Return the id of ``value`` or the padding index if unknown."""
+        return self._index.get(value, PAD_INDEX)
+
+    def lookup_array(self, values: Iterable[Hashable]) -> np.ndarray:
+        return np.array([self.lookup(v) for v in values], dtype=np.int64)
+
+    def value_of(self, index: int) -> Hashable:
+        """Inverse lookup; raises for the padding index."""
+        if index == PAD_INDEX:
+            raise KeyError("index 0 is the padding/unknown slot and has no value")
+        return self._values[index - 1]
+
+    def freeze(self) -> "Vocabulary":
+        """Stop admitting new values; unknown values map to the padding id."""
+        self._frozen = True
+        return self
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+
+class HashingVocabulary:
+    """Fixed-size vocabulary using the hashing trick.
+
+    Industrial recommenders hash high-cardinality ids (user id, item id) into
+    a fixed number of buckets instead of maintaining exact dictionaries; this
+    mirrors that behaviour.  Bucket 0 is still reserved for padding.
+    """
+
+    def __init__(self, num_buckets: int, name: str = "hash_vocab", seed: int = 17) -> None:
+        if num_buckets < 2:
+            raise ValueError("num_buckets must be at least 2 (one bucket plus padding)")
+        self.name = name
+        self.num_buckets = num_buckets
+        self.seed = seed
+
+    def __len__(self) -> int:
+        return self.num_buckets
+
+    def lookup(self, value: Hashable) -> int:
+        # zlib.crc32 is deterministic across processes (unlike the built-in
+        # ``hash`` for strings), which keeps encodings reproducible.
+        digest = zlib.crc32(repr((self.seed, value)).encode("utf-8"))
+        return 1 + (digest % (self.num_buckets - 1))
+
+    def lookup_array(self, values: Iterable[Hashable]) -> np.ndarray:
+        return np.array([self.lookup(v) for v in values], dtype=np.int64)

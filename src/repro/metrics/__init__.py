@@ -1,0 +1,25 @@
+"""Evaluation metrics: AUC, TAUC, CAUC, NDCG, LogLoss, CTR accounting."""
+
+from .auc import auc
+from .ctr import CTRCounter, relative_improvement
+from .grouped_auc import city_auc, grouped_auc, per_group_auc, time_period_auc
+from .logloss import calibration_ratio, logloss
+from .ndcg import dcg_at_k, ndcg_at_k, session_ndcg
+from .report import MetricReport, evaluate_predictions
+
+__all__ = [
+    "auc",
+    "CTRCounter",
+    "relative_improvement",
+    "city_auc",
+    "grouped_auc",
+    "per_group_auc",
+    "time_period_auc",
+    "calibration_ratio",
+    "logloss",
+    "dcg_at_k",
+    "ndcg_at_k",
+    "session_ndcg",
+    "MetricReport",
+    "evaluate_predictions",
+]

@@ -1,0 +1,31 @@
+"""Area under the ROC curve.
+
+Implemented via the rank statistic (Mann-Whitney U), which handles tied
+scores by mid-ranking — equivalent to trapezoidal ROC integration and fast
+enough for millions of impressions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy.stats import rankdata
+
+__all__ = ["auc"]
+
+
+def auc(labels: np.ndarray, scores: np.ndarray) -> float:
+    """Compute AUC; returns ``nan`` when only one class is present."""
+    labels = np.asarray(labels, dtype=np.float64).reshape(-1)
+    scores = np.asarray(scores, dtype=np.float64).reshape(-1)
+    if labels.shape != scores.shape:
+        raise ValueError(f"labels and scores must align: {labels.shape} vs {scores.shape}")
+    positives = float(labels.sum())
+    negatives = float(len(labels) - positives)
+    if positives == 0 or negatives == 0:
+        return float("nan")
+    ranks = rankdata(scores)
+    positive_rank_sum = float(ranks[labels > 0.5].sum())
+    u_statistic = positive_rank_sum - positives * (positives + 1) / 2.0
+    return u_statistic / (positives * negatives)

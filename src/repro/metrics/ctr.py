@@ -1,0 +1,45 @@
+"""CTR bookkeeping used by the online A/B simulation (Table VII, Fig. 12)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable
+
+__all__ = ["CTRCounter", "relative_improvement"]
+
+
+@dataclass
+class CTRCounter:
+    """Accumulates exposures and clicks, optionally per group."""
+
+    exposures: int = 0
+    clicks: int = 0
+    group_exposures: Dict[Hashable, int] = field(default_factory=dict)
+    group_clicks: Dict[Hashable, int] = field(default_factory=dict)
+
+    def update(self, exposures: int, clicks: int, group: Hashable = None) -> None:
+        if exposures < 0 or clicks < 0 or clicks > exposures:
+            raise ValueError(f"invalid update: exposures={exposures}, clicks={clicks}")
+        self.exposures += exposures
+        self.clicks += clicks
+        if group is not None:
+            self.group_exposures[group] = self.group_exposures.get(group, 0) + exposures
+            self.group_clicks[group] = self.group_clicks.get(group, 0) + clicks
+
+    @property
+    def ctr(self) -> float:
+        return self.clicks / self.exposures if self.exposures else 0.0
+
+    def group_ctr(self, group: Hashable) -> float:
+        exposures = self.group_exposures.get(group, 0)
+        return self.group_clicks.get(group, 0) / exposures if exposures else 0.0
+
+    def group_exposure_share(self, group: Hashable) -> float:
+        return self.group_exposures.get(group, 0) / self.exposures if self.exposures else 0.0
+
+
+def relative_improvement(treatment: float, control: float) -> float:
+    """Relative CTR lift of treatment over control (Table VII's last column)."""
+    if control == 0:
+        return float("nan")
+    return (treatment - control) / control

@@ -1,0 +1,59 @@
+"""The paper's two new metrics: TAUC and CAUC (Eq. 20-21).
+
+Both are exposure-weighted averages of per-group AUCs — grouped by
+time-period for TAUC and by city for CAUC.  Groups with a single label class
+contribute no AUC and are excluded from both numerator and denominator
+(their weight cannot be attributed to any ranking quality).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from .auc import auc
+
+__all__ = ["grouped_auc", "time_period_auc", "city_auc", "per_group_auc"]
+
+
+def per_group_auc(labels: np.ndarray, scores: np.ndarray, groups: np.ndarray) -> Dict[int, Dict[str, float]]:
+    """AUC and exposure count for each distinct group value."""
+    labels = np.asarray(labels).reshape(-1)
+    scores = np.asarray(scores).reshape(-1)
+    groups = np.asarray(groups).reshape(-1)
+    if not (len(labels) == len(scores) == len(groups)):
+        raise ValueError("labels, scores and groups must have the same length")
+    result: Dict[int, Dict[str, float]] = {}
+    for group in np.unique(groups):
+        mask = groups == group
+        result[int(group)] = {
+            "impressions": int(mask.sum()),
+            "auc": auc(labels[mask], scores[mask]),
+        }
+    return result
+
+
+def grouped_auc(labels: np.ndarray, scores: np.ndarray, groups: np.ndarray) -> float:
+    """Exposure-weighted mean of per-group AUC (the TAUC/CAUC formula)."""
+    breakdown = per_group_auc(labels, scores, groups)
+    weighted_sum = 0.0
+    total_weight = 0.0
+    for stats in breakdown.values():
+        if np.isnan(stats["auc"]):
+            continue
+        weighted_sum += stats["impressions"] * stats["auc"]
+        total_weight += stats["impressions"]
+    if total_weight == 0:
+        return float("nan")
+    return weighted_sum / total_weight
+
+
+def time_period_auc(labels: np.ndarray, scores: np.ndarray, time_periods: np.ndarray) -> float:
+    """TAUC: AUC averaged over time-periods, weighted by exposures (Eq. 20)."""
+    return grouped_auc(labels, scores, time_periods)
+
+
+def city_auc(labels: np.ndarray, scores: np.ndarray, cities: np.ndarray) -> float:
+    """CAUC: AUC averaged over cities, weighted by exposures (Eq. 21)."""
+    return grouped_auc(labels, scores, cities)

@@ -1,0 +1,26 @@
+"""Log loss (binary cross-entropy) and calibration diagnostics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["logloss", "calibration_ratio"]
+
+
+def logloss(labels: np.ndarray, scores: np.ndarray, eps: float = 1e-7) -> float:
+    """Mean binary cross-entropy between labels and predicted probabilities."""
+    labels = np.asarray(labels, dtype=np.float64).reshape(-1)
+    scores = np.clip(np.asarray(scores, dtype=np.float64).reshape(-1), eps, 1.0 - eps)
+    if labels.shape != scores.shape:
+        raise ValueError(f"labels and scores must align: {labels.shape} vs {scores.shape}")
+    return float(-(labels * np.log(scores) + (1.0 - labels) * np.log(1.0 - scores)).mean())
+
+
+def calibration_ratio(labels: np.ndarray, scores: np.ndarray) -> float:
+    """Predicted CTR over empirical CTR; 1.0 means perfectly calibrated on average."""
+    labels = np.asarray(labels, dtype=np.float64).reshape(-1)
+    scores = np.asarray(scores, dtype=np.float64).reshape(-1)
+    actual = labels.mean()
+    if actual == 0:
+        return float("nan")
+    return float(scores.mean() / actual)

@@ -1,0 +1,53 @@
+"""Normalized Discounted Cumulative Gain over ranking sessions.
+
+The paper reports NDCG@3 and NDCG@10.  Each ranking session (one user
+request with its exposed candidates) is ranked by the model's scores; gains
+are the binary click labels.  Sessions without any click have an undefined
+ideal DCG and are skipped, matching common practice.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["dcg_at_k", "ndcg_at_k", "session_ndcg"]
+
+
+def dcg_at_k(relevances: np.ndarray, k: int) -> float:
+    """Discounted cumulative gain of a relevance list truncated at ``k``."""
+    relevances = np.asarray(relevances, dtype=np.float64)[:k]
+    if relevances.size == 0:
+        return 0.0
+    discounts = 1.0 / np.log2(np.arange(2, relevances.size + 2))
+    return float((relevances * discounts).sum())
+
+
+def ndcg_at_k(labels: np.ndarray, scores: np.ndarray, k: int) -> float:
+    """NDCG@k for a single ranked list; ``nan`` when there is no positive."""
+    labels = np.asarray(labels, dtype=np.float64).reshape(-1)
+    scores = np.asarray(scores, dtype=np.float64).reshape(-1)
+    if labels.sum() == 0:
+        return float("nan")
+    order = np.argsort(-scores, kind="stable")
+    ideal_order = np.argsort(-labels, kind="stable")
+    dcg = dcg_at_k(labels[order], k)
+    ideal = dcg_at_k(labels[ideal_order], k)
+    return dcg / ideal if ideal > 0 else float("nan")
+
+
+def session_ndcg(labels: np.ndarray, scores: np.ndarray, sessions: np.ndarray, k: int) -> float:
+    """Mean NDCG@k over ranking sessions (sessions without clicks are skipped)."""
+    labels = np.asarray(labels).reshape(-1)
+    scores = np.asarray(scores).reshape(-1)
+    sessions = np.asarray(sessions).reshape(-1)
+    if not (len(labels) == len(scores) == len(sessions)):
+        raise ValueError("labels, scores and sessions must have the same length")
+    values = []
+    for session in np.unique(sessions):
+        mask = sessions == session
+        value = ndcg_at_k(labels[mask], scores[mask], k)
+        if not np.isnan(value):
+            values.append(value)
+    return float(np.mean(values)) if values else float("nan")

@@ -1,0 +1,59 @@
+"""Aggregate metric reports: the columns of the paper's Table IV."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from .auc import auc
+from .grouped_auc import city_auc, time_period_auc
+from .logloss import logloss
+from .ndcg import session_ndcg
+
+__all__ = ["MetricReport", "evaluate_predictions"]
+
+
+@dataclass
+class MetricReport:
+    """AUC / TAUC / CAUC / NDCG3 / NDCG10 / LogLoss for one model on one split."""
+
+    auc: float
+    tauc: float
+    cauc: float
+    ndcg3: float
+    ndcg10: float
+    logloss: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "AUC": self.auc,
+            "TAUC": self.tauc,
+            "CAUC": self.cauc,
+            "NDCG3": self.ndcg3,
+            "NDCG10": self.ndcg10,
+            "Logloss": self.logloss,
+        }
+
+    def __str__(self) -> str:
+        parts = [f"{name}={value:.4f}" for name, value in self.as_dict().items()]
+        return "MetricReport(" + ", ".join(parts) + ")"
+
+
+def evaluate_predictions(
+    labels: np.ndarray,
+    scores: np.ndarray,
+    time_periods: np.ndarray,
+    cities: np.ndarray,
+    sessions: np.ndarray,
+) -> MetricReport:
+    """Compute the full Table IV metric set from flat prediction arrays."""
+    return MetricReport(
+        auc=auc(labels, scores),
+        tauc=time_period_auc(labels, scores, time_periods),
+        cauc=city_auc(labels, scores, cities),
+        ndcg3=session_ndcg(labels, scores, sessions, k=3),
+        ndcg10=session_ndcg(labels, scores, sessions, k=10),
+        logloss=logloss(labels, scores),
+    )

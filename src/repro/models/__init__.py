@@ -1,0 +1,50 @@
+"""CTR models: BASM and the paper's six comparison methods."""
+
+from .apg import APG, APGLinear
+from .autoint import AutoInt
+from .base import BaseCTRModel, FieldEmbedder, ModelConfig
+from .basm import (
+    BASM,
+    FusionLayer,
+    SpatiotemporalAdaptiveBiasTower,
+    SpatiotemporalAwareEmbeddingLayer,
+    SpatiotemporalSemanticTransformLayer,
+)
+from .din import DIN, TargetAttentionDIN
+from .m2m import M2M, MetaUnit
+from .registry import (
+    DYNAMIC_MODELS,
+    MODEL_REGISTRY,
+    PAPER_MODELS,
+    STATIC_MODELS,
+    available_models,
+    create_model,
+)
+from .star import STAR
+from .wide_deep import WideDeep
+
+__all__ = [
+    "APG",
+    "APGLinear",
+    "AutoInt",
+    "BaseCTRModel",
+    "FieldEmbedder",
+    "ModelConfig",
+    "BASM",
+    "FusionLayer",
+    "SpatiotemporalAdaptiveBiasTower",
+    "SpatiotemporalAwareEmbeddingLayer",
+    "SpatiotemporalSemanticTransformLayer",
+    "DIN",
+    "TargetAttentionDIN",
+    "M2M",
+    "MetaUnit",
+    "DYNAMIC_MODELS",
+    "MODEL_REGISTRY",
+    "PAPER_MODELS",
+    "STATIC_MODELS",
+    "available_models",
+    "create_model",
+    "STAR",
+    "WideDeep",
+]

@@ -1,0 +1,90 @@
+"""APG (Yan et al., 2022) — dynamic-parameter baseline #3.
+
+APG's "self-wise" adaptation generates the MLP parameters per instance from
+the instance representation itself, using a low-rank decomposition
+``W = U S(z) V`` where ``U`` / ``V`` are shared ("common patterns") and the
+inner core ``S(z)`` is generated per sample ("custom patterns").  All tower
+layers are generated, which is also what makes APG the most expensive method
+in the paper's Table VI.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from .. import nn
+from ..features.schema import FeatureSchema
+from ..nn import Tensor
+from .base import BaseCTRModel, ModelConfig
+
+__all__ = ["APG", "APGLinear"]
+
+
+class APGLinear(nn.Module):
+    """Low-rank adaptive linear layer: ``y = ((x U) S(z)) V + b``."""
+
+    def __init__(self, in_features: int, out_features: int, condition_dim: int,
+                 rank: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.rank = rank
+        self.down = nn.Linear(in_features, rank, bias=False, rng=rng)
+        self.up = nn.Linear(rank, out_features, rng=rng)
+        self.core_generator = nn.Linear(condition_dim, rank * rank, rng=rng)
+        # Bias the generated core towards the identity so training starts from
+        # an ordinary low-rank linear layer.
+        self.core_generator.weight.data *= 0.1
+        self.core_generator.bias.data += np.eye(rank, dtype=np.float32).reshape(-1)
+
+    def forward(self, x: Tensor, condition: Tensor) -> Tensor:
+        batch = x.shape[0]
+        core = self.core_generator(condition).reshape(batch, self.rank, self.rank)
+        reduced = self.down(x).reshape(batch, 1, self.rank)
+        mixed = (reduced @ core).reshape(batch, self.rank)
+        return self.up(mixed)
+
+
+class APG(BaseCTRModel):
+    """Adaptive parameter generation over every tower layer."""
+
+    name = "apg"
+
+    def __init__(
+        self,
+        schema: FeatureSchema,
+        config: Optional[ModelConfig] = None,
+        rank: int = 16,
+        condition_dim: int = 48,
+    ) -> None:
+        super().__init__(schema, config)
+        rng = np.random.default_rng(self.config.seed + 31)
+        self.condition_net = nn.MLP(
+            self.input_dim(), [condition_dim], activation=self.config.activation, rng=rng
+        )
+        widths = [self.input_dim()] + list(self.config.tower_units) + [1]
+        self.layers = nn.ModuleList(
+            [
+                APGLinear(widths[index], widths[index + 1], condition_dim, rank, rng)
+                for index in range(len(widths) - 1)
+            ]
+        )
+        self.norms = nn.ModuleList([nn.BatchNorm1d(width) for width in self.config.tower_units])
+        self.activation = nn.get_activation(self.config.activation)
+        self.use_batchnorm = self.config.use_batchnorm
+
+    def forward(self, batch: Dict[str, np.ndarray]) -> Tensor:
+        fields = self.embedder.field_embeddings(batch)
+        trunk = self.concat_fields(fields)
+        condition = self.condition_net(trunk)
+        hidden = trunk
+        last = len(self.layers) - 1
+        for index, layer in enumerate(self.layers):
+            hidden = layer(hidden, condition)
+            if index != last:
+                if self.use_batchnorm:
+                    hidden = self.norms[index](hidden)
+                hidden = self.activation(hidden)
+        return hidden.sigmoid().reshape(-1)

@@ -1,0 +1,75 @@
+"""AutoInt (Song et al., 2019) — static-parameter baseline #3."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from .. import nn
+from ..features.schema import FeatureSchema, FieldName
+from ..nn import Tensor
+from .base import BaseCTRModel, ModelConfig
+
+__all__ = ["AutoInt"]
+
+
+class AutoInt(BaseCTRModel):
+    """Automatic feature interaction via stacked multi-head self-attention.
+
+    Each field representation is projected into a shared interaction space,
+    the stack of self-attention layers models high-order field interactions,
+    and the flattened result feeds a logit layer (plus a small DNN branch, as
+    in the original paper's AutoInt+ variant).
+    """
+
+    name = "autoint"
+
+    def __init__(
+        self,
+        schema: FeatureSchema,
+        config: Optional[ModelConfig] = None,
+        num_interaction_layers: int = 2,
+        interaction_dim: int = 16,
+    ) -> None:
+        super().__init__(schema, config)
+        rng = np.random.default_rng(self.config.seed + 19)
+        self.interaction_dim = interaction_dim
+        self.num_fields = len(schema.field_names)
+
+        dims = self.embedder.field_dims()
+        self.field_projections = nn.ModuleList(
+            [nn.Linear(dims[name], interaction_dim, rng=rng) for name in schema.field_names]
+        )
+        self.interaction_layers = nn.ModuleList(
+            [
+                nn.MultiHeadSelfAttention(interaction_dim, self.config.attention_heads, rng=rng)
+                for _ in range(num_interaction_layers)
+            ]
+        )
+        self.attention_logit = nn.Linear(self.num_fields * interaction_dim, 1, rng=rng)
+        self.dnn = nn.MLP(
+            self.input_dim(),
+            list(self.config.tower_units) + [1],
+            activation=self.config.activation,
+            use_batchnorm=self.config.use_batchnorm,
+            dropout=self.config.dropout,
+            final_activation=False,
+            rng=rng,
+        )
+
+    def forward(self, batch: Dict[str, np.ndarray]) -> Tensor:
+        fields = self.embedder.field_embeddings(batch)
+        projected = [
+            projection(fields[name]).reshape(-1, 1, self.interaction_dim)
+            for name, projection in zip(self.schema.field_names, self.field_projections)
+        ]
+        stacked = Tensor.concat(projected, axis=1)  # (batch, num_fields, interaction_dim)
+        for layer in self.interaction_layers:
+            stacked = layer(stacked)
+        batch_size = stacked.shape[0]
+        interaction_logit = self.attention_logit(
+            stacked.reshape(batch_size, self.num_fields * self.interaction_dim)
+        )
+        dnn_logit = self.dnn(self.concat_fields(fields))
+        return (interaction_logit + dnn_logit).sigmoid().reshape(-1)

@@ -1,0 +1,168 @@
+"""Shared building blocks for all CTR models.
+
+Every model in the reproduction (BASM and the six baselines) consumes the same
+batch dictionary produced by :class:`repro.data.DataLoader` and shares the
+same embedding machinery, so differences in Table IV reflect the modelling
+ideas rather than input plumbing:
+
+* one global embedding table over the schema's id space (paper Eq. 3-4);
+* per-field concatenated embeddings (user / candidate item / context / combine);
+* the user-behaviour field pooled by multi-head target attention with the
+  candidate item as query (the paper's base-model structure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..features.schema import FeatureSchema, FieldName
+from ..nn import Tensor
+
+__all__ = ["ModelConfig", "FieldEmbedder", "BaseCTRModel"]
+
+
+@dataclass
+class ModelConfig:
+    """Hyper-parameters shared by all models.
+
+    ``tower_units`` default to a scaled-down version of the paper's
+    1024/512/256 tower so experiments run at laptop scale.
+    """
+
+    embedding_dim: int = 8
+    attention_dim: int = 32
+    attention_heads: int = 2
+    tower_units: Tuple[int, ...] = (128, 64, 32)
+    activation: str = "leaky_relu"
+    dropout: float = 0.0
+    use_batchnorm: bool = True
+    seed: int = 0
+
+
+class FieldEmbedder(nn.Module):
+    """Embeds every field of a batch and pools the behaviour sequence."""
+
+    def __init__(self, schema: FeatureSchema, config: ModelConfig) -> None:
+        super().__init__()
+        self.schema = schema
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+        self.embedding = nn.Embedding(schema.total_vocab_size, config.embedding_dim, rng=rng)
+
+        self.sequence_feature_count = len(schema.sequence_features)
+        self.sequence_raw_dim = self.sequence_feature_count * config.embedding_dim
+        item_features = schema.num_features_in_field(FieldName.CANDIDATE_ITEM)
+        self.target_raw_dim = item_features * config.embedding_dim
+        # Project candidate item (query) and behaviours (keys/values) into a
+        # common attention space.
+        self.sequence_proj = nn.Linear(self.sequence_raw_dim, config.attention_dim, rng=rng)
+        self.target_proj = nn.Linear(self.target_raw_dim, config.attention_dim, rng=rng)
+        self.target_attention = nn.MultiHeadTargetAttention(
+            config.attention_dim, config.attention_heads, rng=rng
+        )
+
+    # ------------------------------------------------------------------ #
+    def field_dims(self) -> Dict[str, int]:
+        """Output dimension of each field's representation."""
+        dims = {}
+        for field_name in self.schema.field_names:
+            if field_name == FieldName.USER_BEHAVIOR:
+                dims[field_name] = self.config.attention_dim
+            else:
+                dims[field_name] = (
+                    self.schema.num_features_in_field(field_name) * self.config.embedding_dim
+                )
+        return dims
+
+    @property
+    def total_dim(self) -> int:
+        return int(sum(self.field_dims().values()))
+
+    # ------------------------------------------------------------------ #
+    def embed_flat_field(self, ids: np.ndarray) -> Tensor:
+        """Embed a ``(batch, k)`` id array into ``(batch, k * dim)``."""
+        batch, count = ids.shape
+        embedded = self.embedding(ids)
+        return embedded.reshape(batch, count * self.config.embedding_dim)
+
+    def embed_sequence(self, ids: np.ndarray) -> Tensor:
+        """Embed ``(batch, length, k)`` behaviour ids into ``(batch, length, k * dim)``."""
+        batch, length, count = ids.shape
+        embedded = self.embedding(ids)
+        return embedded.reshape(batch, length, count * self.config.embedding_dim)
+
+    def pool_behavior(self, batch: Dict[str, np.ndarray], target_field: Tensor) -> Tensor:
+        """Multi-head target attention pooling of the behaviour sequence."""
+        sequence = self.embed_sequence(batch["behavior"])
+        projected_sequence = self.sequence_proj(sequence)
+        query = self.target_proj(target_field)
+        return self.target_attention(query, projected_sequence, mask=batch["behavior_mask"])
+
+    def pool_behavior_mean(self, batch: Dict[str, np.ndarray],
+                           mask_key: str = "behavior_mask") -> Tensor:
+        """Masked mean pooling in the attention space (used by StSTL's filter)."""
+        sequence = self.embed_sequence(batch["behavior"])
+        projected = self.sequence_proj(sequence)
+        return nn.functional.masked_mean(projected, batch[mask_key], axis=1)
+
+    # ------------------------------------------------------------------ #
+    def field_embeddings(self, batch: Dict[str, np.ndarray]) -> Dict[str, Tensor]:
+        """All field representations, behaviour field pooled by target attention."""
+        fields: Dict[str, Tensor] = {}
+        for field_name, ids in batch["fields"].items():
+            fields[field_name] = self.embed_flat_field(ids)
+        fields[FieldName.USER_BEHAVIOR] = self.pool_behavior(
+            batch, fields[FieldName.CANDIDATE_ITEM]
+        )
+        return fields
+
+
+class BaseCTRModel(nn.Module):
+    """Abstract CTR model: shares the embedder and the predict() helper."""
+
+    name = "base"
+
+    def __init__(self, schema: FeatureSchema, config: Optional[ModelConfig] = None) -> None:
+        super().__init__()
+        self.schema = schema
+        self.config = config or ModelConfig()
+        self.embedder = FieldEmbedder(schema, self.config)
+        self.rng = np.random.default_rng(self.config.seed + 1)
+
+    # ------------------------------------------------------------------ #
+    def forward(self, batch: Dict[str, np.ndarray]) -> Tensor:
+        """Return the predicted click probability, shape ``(batch,)``."""
+        raise NotImplementedError
+
+    def predict(self, batch: Dict[str, np.ndarray]) -> np.ndarray:
+        """Inference without building a gradient graph."""
+        was_training = self.training
+        self.eval()
+        try:
+            with nn.no_grad():
+                probabilities = self.forward(batch)
+        finally:
+            self.train(was_training)
+        return probabilities.data.reshape(-1)
+
+    # ------------------------------------------------------------------ #
+    def concat_fields(self, fields: Dict[str, Tensor]) -> Tensor:
+        """Concatenate field representations in canonical field order."""
+        ordered = [fields[name] for name in self.schema.field_names]
+        return Tensor.concat(ordered, axis=-1)
+
+    def input_dim(self) -> int:
+        return self.embedder.total_dim
+
+    def describe(self) -> Dict[str, object]:
+        """Small summary used by the efficiency benchmark (Table VI)."""
+        return {
+            "name": self.name,
+            "parameters": self.num_parameters(),
+            "embedding_parameters": int(self.embedder.embedding.weight.size),
+            "fields": self.schema.field_names,
+        }

@@ -1,0 +1,14 @@
+"""BASM and its three modules."""
+
+from .model import BASM
+from .stabt import FusionLayer, SpatiotemporalAdaptiveBiasTower
+from .stael import SpatiotemporalAwareEmbeddingLayer
+from .ststl import SpatiotemporalSemanticTransformLayer
+
+__all__ = [
+    "BASM",
+    "FusionLayer",
+    "SpatiotemporalAdaptiveBiasTower",
+    "SpatiotemporalAwareEmbeddingLayer",
+    "SpatiotemporalSemanticTransformLayer",
+]

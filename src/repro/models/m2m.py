@@ -1,0 +1,93 @@
+"""M2M (Zhang et al., 2022) — dynamic-parameter baseline #2.
+
+M2M builds *meta units*: small networks whose weights are generated from a
+scenario-knowledge representation, so each scenario gets its own effective
+tower.  Following the paper's setup (Section III-A.2), the scenario knowledge
+fed to the meta units is the spatiotemporal context (time-period, hour, city,
+geohash), which makes the comparison with BASM direct: both condition on the
+same information, but M2M applies it only at the tower level.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .. import nn
+from ..features.schema import FeatureSchema, FieldName
+from ..nn import Tensor
+from .base import BaseCTRModel, ModelConfig
+
+__all__ = ["M2M", "MetaUnit"]
+
+
+class MetaUnit(nn.Module):
+    """A fully-connected layer whose weight and bias are generated per sample.
+
+    ``scenario`` (batch, scenario_dim) -> W (batch, in, out), b (batch, out);
+    the unit then applies ``y = x W + b`` with a per-sample matmul, plus a
+    residual projection as in the original meta-tower design.
+    """
+
+    def __init__(self, in_features: int, out_features: int, scenario_dim: int,
+                 rng: np.random.Generator) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight_generator = nn.Linear(scenario_dim, in_features * out_features, rng=rng)
+        self.bias_generator = nn.Linear(scenario_dim, out_features, rng=rng)
+        self.residual = nn.Linear(in_features, out_features, rng=rng)
+        # Small initial scale keeps the generated weights near zero at start,
+        # so training begins close to the static residual path.
+        self.weight_generator.weight.data *= 0.1
+        self.bias_generator.weight.data *= 0.1
+
+    def forward(self, x: Tensor, scenario: Tensor) -> Tensor:
+        batch = x.shape[0]
+        weight = self.weight_generator(scenario).reshape(batch, self.in_features, self.out_features)
+        bias = self.bias_generator(scenario)
+        projected = (x.reshape(batch, 1, self.in_features) @ weight).reshape(batch, self.out_features)
+        return projected + bias + self.residual(x)
+
+
+class M2M(BaseCTRModel):
+    """Meta tower over a shared backbone, conditioned on spatiotemporal context."""
+
+    name = "m2m"
+
+    def __init__(
+        self,
+        schema: FeatureSchema,
+        config: Optional[ModelConfig] = None,
+        scenario_dim: int = 32,
+        meta_units: Optional[List[int]] = None,
+    ) -> None:
+        super().__init__(schema, config)
+        rng = np.random.default_rng(self.config.seed + 29)
+        meta_units = meta_units or [64, 32]
+        context_dim = self.embedder.field_dims()[FieldName.CONTEXT]
+        self.scenario_net = nn.MLP(context_dim, [scenario_dim], activation=self.config.activation, rng=rng)
+        self.backbone = nn.MLP(
+            self.input_dim(),
+            list(self.config.tower_units),
+            activation=self.config.activation,
+            use_batchnorm=self.config.use_batchnorm,
+            dropout=self.config.dropout,
+            rng=rng,
+        )
+        self.meta_layers = nn.ModuleList()
+        previous = self.config.tower_units[-1]
+        for width in meta_units:
+            self.meta_layers.append(MetaUnit(previous, width, scenario_dim, rng))
+            previous = width
+        self.activation = nn.get_activation(self.config.activation)
+        self.output = nn.Linear(previous, 1, rng=rng)
+
+    def forward(self, batch: Dict[str, np.ndarray]) -> Tensor:
+        fields = self.embedder.field_embeddings(batch)
+        scenario = self.scenario_net(fields[FieldName.CONTEXT])
+        hidden = self.backbone(self.concat_fields(fields))
+        for layer in self.meta_layers:
+            hidden = self.activation(layer(hidden, scenario))
+        return self.output(hidden).sigmoid().reshape(-1)

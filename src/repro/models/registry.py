@@ -1,0 +1,64 @@
+"""Model registry: build any paper model by name.
+
+Used by the Table IV / V / VI benchmarks and by the examples, so experiment
+code never needs to import individual model classes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Type
+
+from ..features.schema import FeatureSchema
+from .apg import APG
+from .autoint import AutoInt
+from .base import BaseCTRModel, ModelConfig
+from .basm import BASM
+from .din import DIN, TargetAttentionDIN
+from .m2m import M2M
+from .star import STAR
+from .wide_deep import WideDeep
+
+__all__ = [
+    "MODEL_REGISTRY",
+    "STATIC_MODELS",
+    "DYNAMIC_MODELS",
+    "PAPER_MODELS",
+    "create_model",
+    "available_models",
+]
+
+MODEL_REGISTRY: Dict[str, Type[BaseCTRModel]] = {
+    WideDeep.name: WideDeep,
+    DIN.name: DIN,
+    TargetAttentionDIN.name: TargetAttentionDIN,
+    AutoInt.name: AutoInt,
+    STAR.name: STAR,
+    M2M.name: M2M,
+    APG.name: APG,
+    BASM.name: BASM,
+}
+
+#: The paper's grouping (Table IV): static vs dynamic parameter methods.
+STATIC_MODELS: List[str] = [WideDeep.name, DIN.name, AutoInt.name]
+DYNAMIC_MODELS: List[str] = [STAR.name, M2M.name, APG.name, BASM.name]
+#: The seven methods of Table IV, in the paper's row order.
+PAPER_MODELS: List[str] = STATIC_MODELS + [STAR.name, M2M.name, APG.name, BASM.name]
+
+
+def available_models() -> List[str]:
+    """Names accepted by :func:`create_model`."""
+    return sorted(MODEL_REGISTRY)
+
+
+def create_model(
+    name: str,
+    schema: FeatureSchema,
+    config: Optional[ModelConfig] = None,
+    **kwargs,
+) -> BaseCTRModel:
+    """Instantiate a registered model by name."""
+    try:
+        model_cls = MODEL_REGISTRY[name.lower()]
+    except KeyError as exc:
+        raise ValueError(f"unknown model {name!r}; available: {available_models()}") from exc
+    return model_cls(schema, config, **kwargs)

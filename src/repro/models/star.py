@@ -1,0 +1,93 @@
+"""STAR (Sheng et al., 2021) — dynamic-parameter baseline #1.
+
+STAR maintains a shared ("centre") tower plus one domain-specific tower per
+scenario; the effective weights of each layer are the element-wise product of
+the shared and domain weights (and the sum of the biases).  Following the
+paper's experimental setup (Section III-A.2), the scenario indicator is the
+*time-period*, giving five enumerated domains: breakfast, lunch, afternoon
+tea, dinner and night.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .. import nn
+from ..features.schema import FeatureSchema
+from ..features.time_features import TimePeriod
+from ..nn import Tensor
+from .base import BaseCTRModel, ModelConfig
+
+__all__ = ["STAR"]
+
+
+class _StarLayer(nn.Module):
+    """One fully-connected layer with shared and per-domain factorised weights."""
+
+    def __init__(self, in_features: int, out_features: int, num_domains: int,
+                 rng: np.random.Generator) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.num_domains = num_domains
+        self.shared_weight = nn.Parameter(nn.init.xavier_uniform((in_features, out_features), rng))
+        self.shared_bias = nn.Parameter(nn.init.zeros((out_features,)))
+        # Domain weights start at 1 so the initial product equals the shared weight.
+        self.domain_weights = nn.ModuleList()
+        for _ in range(num_domains):
+            holder = nn.Module()
+            holder.weight = nn.Parameter(nn.init.ones((in_features, out_features)))
+            holder.bias = nn.Parameter(nn.init.zeros((out_features,)))
+            self.domain_weights.append(holder)
+
+    def forward(self, x: Tensor, domains: np.ndarray) -> Tensor:
+        outputs = Tensor(np.zeros((x.shape[0], self.out_features), dtype=np.float32))
+        domains = np.asarray(domains)
+        for domain in range(self.num_domains):
+            mask = (domains == domain).astype(np.float32)[:, None]
+            if mask.sum() == 0:
+                continue
+            holder = self.domain_weights[domain]
+            weight = self.shared_weight * holder.weight
+            bias = self.shared_bias + holder.bias
+            projected = x @ weight + bias
+            outputs = outputs + projected * Tensor(mask)
+        return outputs
+
+
+class STAR(BaseCTRModel):
+    """Star-topology adaptive recommender over the five time-period domains."""
+
+    name = "star"
+
+    def __init__(self, schema: FeatureSchema, config: Optional[ModelConfig] = None) -> None:
+        super().__init__(schema, config)
+        rng = np.random.default_rng(self.config.seed + 23)
+        self.num_domains = len(TimePeriod)
+        widths = [self.input_dim()] + list(self.config.tower_units) + [1]
+        self.layers = nn.ModuleList(
+            [
+                _StarLayer(widths[index], widths[index + 1], self.num_domains, rng)
+                for index in range(len(widths) - 1)
+            ]
+        )
+        self.activation = nn.get_activation(self.config.activation)
+        self.norms = nn.ModuleList(
+            [nn.BatchNorm1d(width) for width in self.config.tower_units]
+        )
+        self.use_batchnorm = self.config.use_batchnorm
+
+    def forward(self, batch: Dict[str, np.ndarray]) -> Tensor:
+        fields = self.embedder.field_embeddings(batch)
+        hidden = self.concat_fields(fields)
+        domains = batch["time_period"]
+        last = len(self.layers) - 1
+        for index, layer in enumerate(self.layers):
+            hidden = layer(hidden, domains)
+            if index != last:
+                if self.use_batchnorm:
+                    hidden = self.norms[index](hidden)
+                hidden = self.activation(hidden)
+        return hidden.sigmoid().reshape(-1)

@@ -1,0 +1,53 @@
+"""Wide & Deep (Cheng et al., 2016) — static-parameter baseline #1."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from .. import nn
+from ..features.schema import FeatureSchema
+from ..nn import Tensor
+from .base import BaseCTRModel, ModelConfig
+
+__all__ = ["WideDeep"]
+
+
+class WideDeep(BaseCTRModel):
+    """Jointly trained wide (memorisation) and deep (generalisation) parts.
+
+    * Wide part: a learned scalar weight per sparse feature value (a second
+      ``(N, 1)`` embedding table summed over the present ids), the standard
+      way to express the original cross-product/linear part over our global
+      id space.
+    * Deep part: an MLP over the concatenated field embeddings with the
+      behaviour field pooled by target attention (shared base machinery).
+    """
+
+    name = "wide_deep"
+
+    def __init__(self, schema: FeatureSchema, config: Optional[ModelConfig] = None) -> None:
+        super().__init__(schema, config)
+        rng = np.random.default_rng(self.config.seed + 11)
+        self.wide_weights = nn.Embedding(schema.total_vocab_size, 1, rng=rng, std=0.001)
+        self.deep = nn.MLP(
+            self.input_dim(),
+            list(self.config.tower_units) + [1],
+            activation=self.config.activation,
+            use_batchnorm=self.config.use_batchnorm,
+            dropout=self.config.dropout,
+            final_activation=False,
+            rng=rng,
+        )
+
+    def _wide_logit(self, batch: Dict[str, np.ndarray]) -> Tensor:
+        all_ids = np.concatenate([ids for ids in batch["fields"].values()], axis=1)
+        weights = self.wide_weights(all_ids)  # (batch, num_features, 1)
+        return weights.sum(axis=1)            # (batch, 1)
+
+    def forward(self, batch: Dict[str, np.ndarray]) -> Tensor:
+        fields = self.embedder.field_embeddings(batch)
+        deep_logit = self.deep(self.concat_fields(fields))
+        logit = deep_logit + self._wide_logit(batch)
+        return logit.sigmoid().reshape(-1)

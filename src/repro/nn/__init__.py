@@ -1,0 +1,64 @@
+"""A minimal numpy-based neural-network framework.
+
+This package replaces the TensorFlow 1.4 substrate used by the paper with a
+self-contained reverse-mode autodiff engine plus the layers, losses, and
+optimizers needed by BASM and its baseline models.
+"""
+
+from . import functional, init, optim
+from .losses import BCELoss, BCEWithLogitsLoss, MSELoss
+from .layers import (
+    BatchNorm1d,
+    DINLocalActivationUnit,
+    Dropout,
+    Embedding,
+    Identity,
+    LayerNorm,
+    LeakyReLU,
+    Linear,
+    MLP,
+    MultiHeadSelfAttention,
+    MultiHeadTargetAttention,
+    ReLU,
+    ScaledDotProductAttention,
+    Sigmoid,
+    Softmax,
+    Tanh,
+    get_activation,
+)
+from .module import Module, ModuleList, Sequential
+from .parameter import Parameter
+from .tensor import Tensor, is_grad_enabled, no_grad
+
+__all__ = [
+    "functional",
+    "init",
+    "optim",
+    "BCELoss",
+    "BCEWithLogitsLoss",
+    "MSELoss",
+    "BatchNorm1d",
+    "DINLocalActivationUnit",
+    "Dropout",
+    "Embedding",
+    "Identity",
+    "LayerNorm",
+    "LeakyReLU",
+    "Linear",
+    "MLP",
+    "MultiHeadSelfAttention",
+    "MultiHeadTargetAttention",
+    "ReLU",
+    "ScaledDotProductAttention",
+    "Sigmoid",
+    "Softmax",
+    "Tanh",
+    "get_activation",
+    "Module",
+    "ModuleList",
+    "Sequential",
+    "Parameter",
+    "Tensor",
+    "is_grad_enabled",
+    "no_grad",
+]

@@ -1,0 +1,78 @@
+"""Weight initialisation helpers.
+
+The paper does not spell out its initialisers beyond the explicit
+"zero-value initialisation" of the StAEL gate (Fig. 4); we provide the usual
+Glorot/He schemes for everything else so all models start from comparable
+regimes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "xavier_uniform",
+    "xavier_normal",
+    "he_uniform",
+    "he_normal",
+    "zeros",
+    "ones",
+    "normal",
+    "uniform",
+]
+
+
+def _fans(shape: Sequence[int]) -> Tuple[int, int]:
+    if len(shape) < 1:
+        raise ValueError("initialiser shapes must have at least one dimension")
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    fan_in = int(np.prod(shape[1:]))
+    fan_out = int(shape[0])
+    return fan_in, fan_out
+
+
+def xavier_uniform(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    """Glorot uniform initialisation."""
+    fan_in, fan_out = _fans(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape).astype(np.float32)
+
+
+def xavier_normal(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    """Glorot normal initialisation."""
+    fan_in, fan_out = _fans(shape)
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape).astype(np.float32)
+
+
+def he_uniform(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    """He uniform initialisation (suited to ReLU-family activations)."""
+    fan_in, _ = _fans(shape)
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape).astype(np.float32)
+
+
+def he_normal(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    """He normal initialisation."""
+    fan_in, _ = _fans(shape)
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape).astype(np.float32)
+
+
+def zeros(shape: Sequence[int]) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float32)
+
+
+def ones(shape: Sequence[int]) -> np.ndarray:
+    return np.ones(shape, dtype=np.float32)
+
+
+def normal(shape: Sequence[int], rng: np.random.Generator, std: float = 0.01) -> np.ndarray:
+    return rng.normal(0.0, std, size=shape).astype(np.float32)
+
+
+def uniform(shape: Sequence[int], rng: np.random.Generator, low: float = -0.05, high: float = 0.05) -> np.ndarray:
+    return rng.uniform(low, high, size=shape).astype(np.float32)

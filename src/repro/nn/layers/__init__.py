@@ -1,0 +1,34 @@
+"""Neural-network layers."""
+
+from .activation import Identity, LeakyReLU, ReLU, Sigmoid, Softmax, Tanh, get_activation
+from .attention import (
+    DINLocalActivationUnit,
+    MultiHeadSelfAttention,
+    MultiHeadTargetAttention,
+    ScaledDotProductAttention,
+)
+from .dropout import Dropout
+from .embedding import Embedding
+from .linear import Linear
+from .mlp import MLP
+from .normalization import BatchNorm1d, LayerNorm
+
+__all__ = [
+    "Identity",
+    "LeakyReLU",
+    "ReLU",
+    "Sigmoid",
+    "Softmax",
+    "Tanh",
+    "get_activation",
+    "DINLocalActivationUnit",
+    "MultiHeadSelfAttention",
+    "MultiHeadTargetAttention",
+    "ScaledDotProductAttention",
+    "Dropout",
+    "Embedding",
+    "Linear",
+    "MLP",
+    "BatchNorm1d",
+    "LayerNorm",
+]

@@ -1,0 +1,156 @@
+"""Attention blocks.
+
+Two flavours are needed by the reproduction:
+
+* :class:`ScaledDotProductAttention` / :class:`MultiHeadTargetAttention` — the
+  "Multi-head Target Attention" block in BASM's architecture diagram (Fig. 3)
+  and in the DIN-style base model: the candidate item attends over the user
+  behaviour sequence.
+* :class:`MultiHeadSelfAttention` — the interacting layer used by AutoInt.
+* :class:`DINLocalActivationUnit` — DIN's original local activation unit,
+  which scores each behaviour with a small MLP over
+  ``[behaviour, target, behaviour - target, behaviour * target]``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import functional as F
+from ..module import Module
+from ..tensor import Tensor
+from .linear import Linear
+from .mlp import MLP
+
+__all__ = [
+    "ScaledDotProductAttention",
+    "MultiHeadTargetAttention",
+    "MultiHeadSelfAttention",
+    "DINLocalActivationUnit",
+]
+
+
+class ScaledDotProductAttention(Module):
+    """``softmax(Q K^T / sqrt(d)) V`` with an optional key padding mask."""
+
+    def forward(self, query: Tensor, key: Tensor, value: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+        d_k = query.shape[-1]
+        scores = query @ key.swapaxes(-1, -2) * (1.0 / np.sqrt(d_k))
+        if mask is not None:
+            # mask: (batch, seq) of 1 for valid keys; broadcast over query axis.
+            mask = np.asarray(mask, dtype=np.float32)
+            while mask.ndim < scores.ndim:
+                mask = np.expand_dims(mask, axis=1)
+            weights = F.masked_softmax(scores, np.broadcast_to(mask, scores.shape), axis=-1)
+        else:
+            weights = scores.softmax(axis=-1)
+        return weights @ value
+
+
+class MultiHeadTargetAttention(Module):
+    """Candidate-item-as-query attention over the behaviour sequence.
+
+    Inputs:
+      * ``target``: ``(batch, dim)`` — candidate item representation.
+      * ``sequence``: ``(batch, seq_len, dim)`` — behaviour embeddings.
+      * ``mask``: ``(batch, seq_len)`` — 1 for real behaviours, 0 for padding.
+
+    Output: ``(batch, dim)`` pooled user-interest representation.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int = 2,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError(f"dim ({dim}) must be divisible by num_heads ({num_heads})")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.query_proj = Linear(dim, dim, rng=rng)
+        self.key_proj = Linear(dim, dim, rng=rng)
+        self.value_proj = Linear(dim, dim, rng=rng)
+        self.out_proj = Linear(dim, dim, rng=rng)
+        self.attention = ScaledDotProductAttention()
+
+    def _split_heads(self, x: Tensor, batch: int, seq: int) -> Tensor:
+        return x.reshape(batch, seq, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def forward(self, target: Tensor, sequence: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+        batch, seq_len, dim = sequence.shape
+        if dim != self.dim:
+            raise ValueError(f"sequence dim {dim} does not match attention dim {self.dim}")
+        query = self.query_proj(target).reshape(batch, 1, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+        key = self._split_heads(self.key_proj(sequence), batch, seq_len)
+        value = self._split_heads(self.value_proj(sequence), batch, seq_len)
+        attended = self.attention(query, key, value, mask=mask)
+        merged = attended.transpose(0, 2, 1, 3).reshape(batch, self.dim)
+        return self.out_proj(merged)
+
+
+class MultiHeadSelfAttention(Module):
+    """Self-attention over feature fields — the interacting layer of AutoInt."""
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int = 2,
+        use_residual: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError(f"dim ({dim}) must be divisible by num_heads ({num_heads})")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.use_residual = use_residual
+        self.query_proj = Linear(dim, dim, bias=False, rng=rng)
+        self.key_proj = Linear(dim, dim, bias=False, rng=rng)
+        self.value_proj = Linear(dim, dim, bias=False, rng=rng)
+        self.residual_proj = Linear(dim, dim, bias=False, rng=rng)
+        self.attention = ScaledDotProductAttention()
+
+    def forward(self, fields: Tensor) -> Tensor:
+        batch, num_fields, dim = fields.shape
+        reshape = lambda x: x.reshape(batch, num_fields, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+        query = reshape(self.query_proj(fields))
+        key = reshape(self.key_proj(fields))
+        value = reshape(self.value_proj(fields))
+        attended = self.attention(query, key, value)
+        merged = attended.transpose(0, 2, 1, 3).reshape(batch, num_fields, dim)
+        if self.use_residual:
+            merged = merged + self.residual_proj(fields)
+        return merged.relu()
+
+
+class DINLocalActivationUnit(Module):
+    """DIN's local activation unit producing per-behaviour relevance weights."""
+
+    def __init__(self, dim: int, hidden_units=(64, 32), rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.dim = dim
+        self.scorer = MLP(4 * dim, list(hidden_units) + [1], activation="sigmoid",
+                          final_activation=False, rng=rng)
+
+    def forward(self, target: Tensor, sequence: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+        batch, seq_len, dim = sequence.shape
+        target_expanded = target.reshape(batch, 1, dim) * Tensor(np.ones((1, seq_len, 1), dtype=np.float32))
+        interaction = Tensor.concat(
+            [sequence, target_expanded, sequence - target_expanded, sequence * target_expanded],
+            axis=-1,
+        )
+        scores = self.scorer(interaction.reshape(batch * seq_len, 4 * dim)).reshape(batch, seq_len)
+        if mask is not None:
+            scores = scores * Tensor(np.asarray(mask, dtype=np.float32))
+        weights = scores.expand_dims(-1)
+        pooled = (sequence * weights).sum(axis=1)
+        return pooled

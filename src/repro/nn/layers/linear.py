@@ -1,0 +1,53 @@
+"""Fully connected layer."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import init
+from ..module import Module
+from ..parameter import Parameter
+from ..tensor import Tensor
+
+__all__ = ["Linear"]
+
+
+class Linear(Module):
+    """Affine map ``y = x W^T + b``.
+
+    Weights are stored as ``(out_features, in_features)``; inputs may have any
+    number of leading batch dimensions.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+        weight_init: str = "xavier_uniform",
+    ) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("in_features and out_features must be positive")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        initialiser = getattr(init, weight_init)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(initialiser((out_features, in_features), rng), name="weight")
+        self.bias = Parameter(init.zeros((out_features,)), name="bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.shape[-1] != self.in_features:
+            raise ValueError(
+                f"Linear expected last dim {self.in_features}, got input shape {x.shape}"
+            )
+        out = x @ self.weight.transpose()
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return f"Linear(in={self.in_features}, out={self.out_features}, bias={self.bias is not None})"

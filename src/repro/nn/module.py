@@ -1,0 +1,185 @@
+"""Module base class: parameter registration, train/eval mode, state dicts."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from .parameter import Parameter
+from .tensor import Tensor
+
+__all__ = ["Module", "ModuleList", "Sequential"]
+
+
+class Module:
+    """Base class for all neural-network modules.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` instances as
+    attributes; they are discovered automatically for optimisation, state
+    serialisation, and train/eval mode switching — the same contract as
+    ``torch.nn.Module``, which keeps the model code in :mod:`repro.models`
+    readable to anyone familiar with that API.
+    """
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    # ------------------------------------------------------------------ #
+    # attribute plumbing
+    # ------------------------------------------------------------------ #
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------ #
+    # parameter / module iteration
+    # ------------------------------------------------------------------ #
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{name}.")
+
+    def parameters(self) -> List[Parameter]:
+        return [param for _, param in self.named_parameters()]
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        yield prefix.rstrip("."), self
+        for name, module in self._modules.items():
+            yield from module.named_modules(prefix=f"{prefix}{name}.")
+
+    def modules(self) -> List["Module"]:
+        return [module for _, module in self.named_modules()]
+
+    def num_parameters(self) -> int:
+        """Total number of trainable scalars in this module tree."""
+        return int(sum(param.size for param in self.parameters()))
+
+    # ------------------------------------------------------------------ #
+    # modes & gradients
+    # ------------------------------------------------------------------ #
+    def train(self, mode: bool = True) -> "Module":
+        object.__setattr__(self, "training", mode)
+        for module in self._modules.values():
+            module.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.grad = None
+
+    # ------------------------------------------------------------------ #
+    # state (de)serialisation
+    # ------------------------------------------------------------------ #
+    #: Non-parameter arrays serialised alongside parameters (e.g. BatchNorm
+    #: running statistics).  Subclasses with such state list the attribute
+    #: names here.
+    _buffer_names: tuple = ("running_mean", "running_var")
+
+    def _named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, "Module", str]]:
+        for name, module in self.named_modules():
+            for attribute in self._buffer_names:
+                if hasattr(module, attribute) and isinstance(getattr(module, attribute), np.ndarray):
+                    key = f"{name}.{attribute}" if name else attribute
+                    yield key, module, attribute
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        state = {name: np.array(param.data) for name, param in self.named_parameters()}
+        for key, module, attribute in self._named_buffers():
+            state[key] = np.array(getattr(module, attribute))
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
+        own = dict(self.named_parameters())
+        buffers = {key: (module, attribute) for key, module, attribute in self._named_buffers()}
+        missing = (set(own) | set(buffers)) - set(state)
+        unexpected = set(state) - set(own) - set(buffers)
+        if strict and (missing or unexpected):
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}"
+            )
+        for name, param in own.items():
+            if name in state:
+                value = np.asarray(state[name], dtype=np.float32)
+                if value.shape != param.data.shape:
+                    raise ValueError(
+                        f"shape mismatch for {name}: expected {param.data.shape}, got {value.shape}"
+                    )
+                param.data = value.copy()
+        for key, (module, attribute) in buffers.items():
+            if key in state:
+                object.__setattr__(module, attribute, np.asarray(state[key], dtype=np.float32).copy())
+
+    # ------------------------------------------------------------------ #
+    # call protocol
+    # ------------------------------------------------------------------ #
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class ModuleList(Module):
+    """An indexable container of sub-modules registered in order."""
+
+    def __init__(self, modules: Optional[List[Module]] = None) -> None:
+        super().__init__()
+        self._items: List[Module] = []
+        for module in modules or []:
+            self.append(module)
+
+    def append(self, module: Module) -> "ModuleList":
+        index = len(self._items)
+        self._items.append(module)
+        self._modules[str(index)] = module
+        object.__setattr__(self, str(index), module)
+        return self
+
+    def __getitem__(self, index: int) -> Module:
+        return self._items[index]
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - containers are not called
+        raise RuntimeError("ModuleList is a container and cannot be called directly")
+
+
+class Sequential(Module):
+    """Chain modules, feeding each output into the next module."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._items: List[Module] = []
+        for index, module in enumerate(modules):
+            self._items.append(module)
+            self._modules[str(index)] = module
+            object.__setattr__(self, str(index), module)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._items[index]
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._items)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self._items:
+            x = module(x)
+        return x

@@ -1,0 +1,19 @@
+"""Optimizers and learning-rate schedules."""
+
+from .adagrad import Adagrad, AdagradDecay
+from .adam import Adam
+from .lr_scheduler import ConstantLR, LinearWarmup, LRScheduler, WarmupThenDecay
+from .optimizer import Optimizer
+from .sgd import SGD
+
+__all__ = [
+    "Adagrad",
+    "AdagradDecay",
+    "Adam",
+    "ConstantLR",
+    "LinearWarmup",
+    "LRScheduler",
+    "WarmupThenDecay",
+    "Optimizer",
+    "SGD",
+]

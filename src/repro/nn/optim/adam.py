@@ -1,0 +1,50 @@
+"""Adam optimizer."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..parameter import Parameter
+from .optimizer import Optimizer
+
+__all__ = ["Adam"]
+
+
+class Adam(Optimizer):
+    """Adam with bias-corrected first/second moment estimates."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 0.001,
+        betas=(0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self.step_count += 1
+        t = self.step_count
+        correction1 = 1.0 - self.beta1 ** t
+        correction2 = 1.0 - self.beta2 ** t
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / correction1
+            v_hat = v / correction2
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,27 @@
+"""Trainable parameters for :mod:`repro.nn` modules."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["Parameter"]
+
+
+class Parameter(Tensor):
+    """A :class:`Tensor` that is registered as trainable by :class:`Module`.
+
+    Parameters always require gradients (even inside a ``no_grad`` block at
+    construction time) so that optimizers can discover and update them.
+    """
+
+    def __init__(self, data, name: Optional[str] = None) -> None:
+        super().__init__(np.asarray(data, dtype=np.float32), requires_grad=True, name=name)
+        # Construction may happen inside no_grad(); force trainability anyway.
+        self.requires_grad = True
+
+    def __repr__(self) -> str:
+        return f"Parameter(shape={self.data.shape}, name={self.name!r})"

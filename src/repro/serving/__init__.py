@@ -1,0 +1,21 @@
+"""Online serving simulation: recall, ranking, A/B testing."""
+
+from .ab_test import ABTestConfig, ABTestResult, ABTestSimulator
+from .encoder import OnlineRequestEncoder
+from .platform import PersonalizationPlatform, ServedImpression
+from .ranker import Ranker
+from .recall import LocationBasedRecall
+from .state import ServingState, UserHistoryState
+
+__all__ = [
+    "ABTestConfig",
+    "ABTestResult",
+    "ABTestSimulator",
+    "OnlineRequestEncoder",
+    "PersonalizationPlatform",
+    "ServedImpression",
+    "Ranker",
+    "LocationBasedRecall",
+    "ServingState",
+    "UserHistoryState",
+]

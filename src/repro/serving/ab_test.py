@@ -1,0 +1,232 @@
+"""Online A/B experiment simulator (paper Table VII and Fig. 12).
+
+Users are split 50/50 by a deterministic hash into a control bucket (served by
+the base model, a DIN variant) and a treatment bucket (served by BASM).  Each
+simulated day the system handles requests end-to-end: LBS recall, model
+ranking, top-k exposure, and user clicks drawn from the ground-truth click
+model of the synthetic world (with position bias applied to the displayed
+rank).  The result object reports daily CTR per bucket (Table VII) and CTR /
+exposure-ratio per time-period and city (Fig. 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..data.world import SyntheticWorld
+from ..features.time_features import TimePeriod
+from ..metrics.ctr import CTRCounter, relative_improvement
+from ..models.base import BaseCTRModel
+from .encoder import OnlineRequestEncoder
+from .ranker import Ranker
+from .recall import LocationBasedRecall
+from .state import ServingState
+
+__all__ = ["ABTestConfig", "ABTestResult", "ABTestSimulator"]
+
+
+@dataclass
+class ABTestConfig:
+    """Size and bucketing knobs of the simulated online experiment."""
+
+    num_days: int = 7
+    requests_per_day: int = 800
+    recall_size: int = 30
+    exposure_size: int = 10
+    treatment_share: float = 0.5
+    order_probability: float = 0.3
+    seed: int = 97
+
+
+@dataclass
+class ABTestResult:
+    """Aggregated outcome of one A/B run."""
+
+    daily: List[Dict[str, float]]
+    control: CTRCounter
+    treatment: CTRCounter
+    control_by_period: CTRCounter
+    treatment_by_period: CTRCounter
+    control_by_city: CTRCounter
+    treatment_by_city: CTRCounter
+
+    @property
+    def average_control_ctr(self) -> float:
+        return self.control.ctr
+
+    @property
+    def average_treatment_ctr(self) -> float:
+        return self.treatment.ctr
+
+    @property
+    def average_relative_improvement(self) -> float:
+        return relative_improvement(self.treatment.ctr, self.control.ctr)
+
+    # ------------------------------------------------------------------ #
+    def table7_rows(self) -> List[Dict[str, float]]:
+        """Per-day rows in the format of the paper's Table VII."""
+        rows = []
+        for day_record in self.daily:
+            rows.append(
+                {
+                    "Day": day_record["day"],
+                    "Base model CTR": round(100 * day_record["control_ctr"], 2),
+                    "BASM CTR": round(100 * day_record["treatment_ctr"], 2),
+                    "Relative Improvement": round(100 * day_record["relative_improvement"], 2),
+                }
+            )
+        rows.append(
+            {
+                "Day": "Avg",
+                "Base model CTR": round(100 * self.control.ctr, 2),
+                "BASM CTR": round(100 * self.treatment.ctr, 2),
+                "Relative Improvement": round(100 * self.average_relative_improvement, 2),
+            }
+        )
+        return rows
+
+    def figure12_time_period_rows(self) -> List[Dict[str, float]]:
+        """Exposure ratio and CTR per time-period for both buckets (Fig. 12a)."""
+        rows = []
+        for period in TimePeriod:
+            key = int(period)
+            rows.append(
+                {
+                    "Group": period.display_name,
+                    "Exposure Ratio": round(self.treatment_by_period.group_exposure_share(key), 4),
+                    "Base CTR": round(self.control_by_period.group_ctr(key), 4),
+                    "BASM CTR": round(self.treatment_by_period.group_ctr(key), 4),
+                    "Relative Improvement": round(
+                        relative_improvement(
+                            self.treatment_by_period.group_ctr(key),
+                            self.control_by_period.group_ctr(key),
+                        ),
+                        4,
+                    ),
+                }
+            )
+        return rows
+
+    def figure12_city_rows(self) -> List[Dict[str, float]]:
+        """Exposure ratio and CTR per city for both buckets (Fig. 12b)."""
+        cities = sorted(set(self.treatment_by_city.group_exposures) | set(self.control_by_city.group_exposures))
+        rows = []
+        for city in cities:
+            rows.append(
+                {
+                    "Group": f"City {city + 1}",
+                    "Exposure Ratio": round(self.treatment_by_city.group_exposure_share(city), 4),
+                    "Base CTR": round(self.control_by_city.group_ctr(city), 4),
+                    "BASM CTR": round(self.treatment_by_city.group_ctr(city), 4),
+                    "Relative Improvement": round(
+                        relative_improvement(
+                            self.treatment_by_city.group_ctr(city),
+                            self.control_by_city.group_ctr(city),
+                        ),
+                        4,
+                    ),
+                }
+            )
+        return rows
+
+
+class ABTestSimulator:
+    """Runs the end-to-end online experiment."""
+
+    def __init__(
+        self,
+        world: SyntheticWorld,
+        control_model: BaseCTRModel,
+        treatment_model: BaseCTRModel,
+        encoder: OnlineRequestEncoder,
+        state: ServingState,
+        config: Optional[ABTestConfig] = None,
+    ) -> None:
+        self.world = world
+        self.config = config or ABTestConfig()
+        self.encoder = encoder
+        self.state = state
+        self.control_ranker = Ranker(control_model, encoder)
+        self.treatment_ranker = Ranker(treatment_model, encoder)
+        self.recall = LocationBasedRecall(world, pool_size=self.config.recall_size,
+                                          seed=self.config.seed + 1)
+        self.rng = np.random.default_rng(self.config.seed)
+
+    # ------------------------------------------------------------------ #
+    def _bucket_of(self, user_index: int) -> str:
+        """Deterministic 50/50 user split (hash-bucketing, as in production)."""
+        value = (user_index * 2654435761) % 1000 / 1000.0
+        return "treatment" if value < self.config.treatment_share else "control"
+
+    def run(self, start_day: int = 100) -> ABTestResult:
+        """Simulate ``num_days`` days of serving and return the aggregated result."""
+        cfg = self.config
+        daily: List[Dict[str, float]] = []
+        control_total = CTRCounter()
+        treatment_total = CTRCounter()
+        control_by_period = CTRCounter()
+        treatment_by_period = CTRCounter()
+        control_by_city = CTRCounter()
+        treatment_by_city = CTRCounter()
+
+        for day_offset in range(cfg.num_days):
+            day = start_day + day_offset
+            day_control = CTRCounter()
+            day_treatment = CTRCounter()
+            for _ in range(cfg.requests_per_day):
+                context = self.world.sample_request_context(day, self.rng)
+                bucket = self._bucket_of(context.user_index)
+                ranker = self.treatment_ranker if bucket == "treatment" else self.control_ranker
+                candidates = self.recall.recall(context)
+                exposed, _ = ranker.rank(context, candidates, self.state, cfg.exposure_size)
+                display_positions = np.arange(len(exposed))
+                probabilities = self.world.click_probabilities(
+                    context.user_index,
+                    exposed,
+                    context.hour,
+                    context.city,
+                    (context.latitude, context.longitude),
+                    positions=display_positions,
+                    rng=self.rng,
+                )
+                clicks = (self.rng.random(len(exposed)) < probabilities).astype(np.float32)
+                exposures = int(len(exposed))
+                click_count = int(clicks.sum())
+
+                if bucket == "treatment":
+                    day_treatment.update(exposures, click_count)
+                    treatment_total.update(exposures, click_count)
+                    treatment_by_period.update(exposures, click_count, group=context.time_period)
+                    treatment_by_city.update(exposures, click_count, group=context.city)
+                else:
+                    day_control.update(exposures, click_count)
+                    control_total.update(exposures, click_count)
+                    control_by_period.update(exposures, click_count, group=context.time_period)
+                    control_by_city.update(exposures, click_count, group=context.city)
+
+                self.state.record_clicks(
+                    context, exposed, clicks,
+                    order_probability=cfg.order_probability, rng=self.rng,
+                )
+
+            daily.append(
+                {
+                    "day": day_offset + 1,
+                    "control_ctr": day_control.ctr,
+                    "treatment_ctr": day_treatment.ctr,
+                    "relative_improvement": relative_improvement(day_treatment.ctr, day_control.ctr),
+                }
+            )
+
+        return ABTestResult(
+            daily=daily,
+            control=control_total,
+            treatment=treatment_total,
+            control_by_period=control_by_period,
+            treatment_by_period=treatment_by_period,
+            control_by_city=control_by_city,
+            treatment_by_city=treatment_by_city,
+        )

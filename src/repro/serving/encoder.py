@@ -1,0 +1,165 @@
+"""Online request encoding: assemble a scoring batch for one request.
+
+This is the serving-side twin of :func:`repro.data.encoding.encode_eleme_log`:
+given the live :class:`ServingState`, a request context and a candidate list,
+it produces exactly the batch dictionary the models were trained on.  A unit
+test asserts the two encoders agree feature-by-feature, so offline/online
+consistency (a classic production failure mode) is guarded.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..data.world import RequestContext, SyntheticWorld
+from ..features.buckets import bucketize, log_bucketize
+from ..features.crosses import (
+    cross_activity_time_period,
+    cross_category_match,
+    cross_distance_time_period,
+)
+from ..features.schema import FeatureSchema, FieldName
+from ..features.vocabulary import HashingVocabulary
+from .state import ServingState
+
+__all__ = ["OnlineRequestEncoder"]
+
+
+class OnlineRequestEncoder:
+    """Encodes (request context, candidates, state) into a model batch."""
+
+    def __init__(self, world: SyntheticWorld, schema: FeatureSchema) -> None:
+        self.world = world
+        self.schema = schema
+        self._geohash_vocab = HashingVocabulary(
+            schema.spec("ctx_geohash").vocab_size, name="ctx_geohash"
+        )
+
+    # ------------------------------------------------------------------ #
+    def _gid(self, name: str, local: np.ndarray) -> np.ndarray:
+        spec = self.schema.spec(name)
+        return self.schema.global_ids(name, np.clip(local, 0, spec.vocab_size - 1))
+
+    def encode(
+        self,
+        context: RequestContext,
+        candidates: np.ndarray,
+        state: ServingState,
+        positions: Optional[np.ndarray] = None,
+    ) -> Dict[str, np.ndarray]:
+        """Build the batch dict for ``candidates`` under ``context``."""
+        world = self.world
+        schema = self.schema
+        candidates = np.asarray(candidates, dtype=np.int64)
+        count = len(candidates)
+        user = context.user_index
+        if positions is None:
+            positions = np.arange(count)
+        positions = np.asarray(positions, dtype=np.int64)
+
+        user_clicks = np.full(count, state.user_clicks[user], dtype=np.int64)
+        user_orders = np.full(count, state.user_orders[user], dtype=np.int64)
+        distance = world.distance_to_request(candidates, context)
+        distance_norm = distance / (2.0 * world.config.city_radius_degrees)
+        distance_bucket = np.clip(bucketize(distance_norm, np.linspace(0.2, 1.8, 9)), 1, 10)
+        price_bucket = np.clip(bucketize(world.item_price[candidates], np.linspace(0.1, 0.9, 9)), 1, 10)
+        quality_bucket = np.clip(
+            bucketize(world.item_quality[candidates], np.linspace(0.1, 0.9, 9)), 1, 10
+        )
+        click_bucket = log_bucketize(state.item_clicks[candidates], 10)
+        periods = np.full(count, context.time_period, dtype=np.int64)
+
+        user_field = np.stack(
+            [
+                self._gid("user_id", np.full(count, user + 1)),
+                self._gid("user_gender", np.full(count, world.user_gender[user])),
+                self._gid("user_age_bucket", np.full(count, world.user_age_bucket[user])),
+                self._gid("user_order_count_bucket", log_bucketize(user_orders, 11)),
+                self._gid("user_click_count_bucket", log_bucketize(user_clicks, 11)),
+                self._gid("user_active_level", np.full(count, world.user_active_level[user])),
+            ],
+            axis=1,
+        )
+        item_field = np.stack(
+            [
+                self._gid("item_id", candidates + 1),
+                self._gid("item_category", world.item_category[candidates] + 1),
+                self._gid("item_brand", world.item_brand[candidates] + 1),
+                self._gid("item_price_bucket", price_bucket),
+                self._gid("shop_quality_bucket", quality_bucket),
+                self._gid("shop_click_bucket", click_bucket),
+                self._gid("item_distance_bucket", distance_bucket),
+                self._gid("item_position", positions + 1),
+            ],
+            axis=1,
+        )
+        weekday = context.day % 7
+        geohash_id = self._geohash_vocab.lookup(context.geohash)
+        context_field = np.stack(
+            [
+                self._gid("ctx_time_period", periods + 1),
+                self._gid("ctx_hour", np.full(count, context.hour + 1)),
+                self._gid("ctx_city_id", np.full(count, context.city + 1)),
+                self.schema.global_ids("ctx_geohash", np.full(count, geohash_id)),
+                self._gid("ctx_weekday", np.full(count, weekday + 1)),
+                self._gid("ctx_is_weekend", np.full(count, int(weekday >= 5) + 1)),
+            ],
+            axis=1,
+        )
+        combine_field = np.stack(
+            [
+                self._gid(
+                    "cross_user_activity_x_period",
+                    cross_activity_time_period(
+                        np.full(count, world.user_active_level[user]), periods
+                    ),
+                ),
+                self._gid(
+                    "cross_category_match",
+                    cross_category_match(
+                        np.full(count, world.user_top_category[user]),
+                        world.item_category[candidates],
+                    ),
+                ),
+                self._gid(
+                    "cross_distance_x_period",
+                    cross_distance_time_period(distance_bucket, periods),
+                ),
+            ],
+            axis=1,
+        )
+
+        raw_behavior, mask, st_mask = state.behavior_snapshot(
+            context, schema.max_sequence_length
+        )
+        sequence_features = [spec.name for spec in schema.sequence_features]
+        behavior = np.zeros((1, schema.max_sequence_length, len(sequence_features)), dtype=np.int64)
+        for column, feature_name in enumerate(sequence_features):
+            source_column = ["seq_item_id", "seq_category", "seq_brand", "seq_time_period",
+                            "seq_hour", "seq_city_id"].index(feature_name)
+            spec = schema.spec(feature_name)
+            local = np.clip(raw_behavior[:, source_column], 0, spec.vocab_size - 1)
+            behavior[0, :, column] = schema.global_ids(feature_name, local)
+        behavior = np.repeat(behavior, count, axis=0)
+        behavior_mask = np.repeat(mask[None, :], count, axis=0)
+        behavior_st_mask = np.repeat(st_mask[None, :], count, axis=0)
+
+        return {
+            "fields": {
+                FieldName.USER: user_field,
+                FieldName.CANDIDATE_ITEM: item_field,
+                FieldName.CONTEXT: context_field,
+                FieldName.COMBINE: combine_field,
+            },
+            "behavior": behavior,
+            "behavior_mask": behavior_mask,
+            "behavior_st_mask": behavior_st_mask,
+            "labels": np.zeros(count, dtype=np.float32),
+            "time_period": periods,
+            "city": np.full(count, context.city, dtype=np.int64),
+            "hour": np.full(count, context.hour, dtype=np.int64),
+            "session": np.zeros(count, dtype=np.int64),
+            "position": positions,
+        }

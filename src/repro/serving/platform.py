@@ -1,0 +1,68 @@
+"""End-to-end serving pipeline (the paper's Fig. 13 deployment diagram).
+
+``PersonalizationPlatform`` plays the role of TPP: on a user request it asks
+the feature server (our :class:`ServingState` + :class:`OnlineRequestEncoder`,
+standing in for ABFS) for user features and behaviours, recalls candidates
+with the location-based service, sends everything to the ranker (RTP) and
+returns the top-k items for exposure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..data.world import RequestContext, SyntheticWorld
+from ..models.base import BaseCTRModel
+from .encoder import OnlineRequestEncoder
+from .ranker import Ranker
+from .recall import LocationBasedRecall
+from .state import ServingState
+
+__all__ = ["ServedImpression", "PersonalizationPlatform"]
+
+
+@dataclass
+class ServedImpression:
+    """What one serving round returned: items in display order with scores."""
+
+    context: RequestContext
+    items: np.ndarray
+    scores: np.ndarray
+
+    def __len__(self) -> int:
+        return int(len(self.items))
+
+
+class PersonalizationPlatform:
+    """TPP analog orchestrating recall -> feature assembly -> ranking."""
+
+    def __init__(
+        self,
+        world: SyntheticWorld,
+        model: BaseCTRModel,
+        encoder: OnlineRequestEncoder,
+        state: ServingState,
+        recall_size: int = 30,
+        exposure_size: int = 10,
+        seed: int = 3,
+    ) -> None:
+        self.world = world
+        self.state = state
+        self.encoder = encoder
+        self.ranker = Ranker(model, encoder)
+        self.recall = LocationBasedRecall(world, pool_size=recall_size, seed=seed)
+        self.exposure_size = exposure_size
+
+    def serve(self, context: RequestContext) -> ServedImpression:
+        """Handle one request end-to-end and return the exposed items."""
+        candidates = self.recall.recall(context)
+        items, scores = self.ranker.rank(context, candidates, self.state, self.exposure_size)
+        return ServedImpression(context=context, items=items, scores=scores)
+
+    def feedback(self, impression: ServedImpression, clicks: np.ndarray,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        """Report observed clicks back so user/item state stays current."""
+        self.state.record_clicks(impression.context, impression.items, clicks, rng=rng)

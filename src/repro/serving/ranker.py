@@ -1,0 +1,43 @@
+"""Real-Time Prediction (RTP) analog: score candidates and pick the top-k."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..data.world import RequestContext
+from ..models.base import BaseCTRModel
+from .encoder import OnlineRequestEncoder
+from .state import ServingState
+
+__all__ = ["Ranker"]
+
+
+class Ranker:
+    """Scores recalled candidates with a trained CTR model and ranks them."""
+
+    def __init__(self, model: BaseCTRModel, encoder: OnlineRequestEncoder) -> None:
+        self.model = model
+        self.encoder = encoder
+
+    def score(self, context: RequestContext, candidates: np.ndarray,
+              state: ServingState) -> np.ndarray:
+        """Predicted click probability for every candidate."""
+        batch = self.encoder.encode(context, candidates, state)
+        return self.model.predict(batch)
+
+    def rank(
+        self,
+        context: RequestContext,
+        candidates: np.ndarray,
+        state: ServingState,
+        top_k: int,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Return (top-k item indices in display order, their scores)."""
+        if top_k <= 0:
+            raise ValueError("top_k must be positive")
+        candidates = np.asarray(candidates, dtype=np.int64)
+        scores = self.score(context, candidates, state)
+        order = np.argsort(-scores, kind="stable")[:top_k]
+        return candidates[order], scores[order]

@@ -1,0 +1,42 @@
+"""Location-based candidate recall (the "Recall" stage of the paper's Fig. 1)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..data.world import RequestContext, SyntheticWorld
+
+__all__ = ["LocationBasedRecall"]
+
+
+class LocationBasedRecall:
+    """Recall nearby candidate shops for a request.
+
+    Candidates are restricted to the request's city and ranked by proximity,
+    with a little randomisation so different requests from the same location
+    do not always see an identical candidate set (mirroring recall-channel
+    churn in the production system).
+    """
+
+    def __init__(self, world: SyntheticWorld, pool_size: int = 30, seed: int = 5) -> None:
+        if pool_size <= 0:
+            raise ValueError("pool_size must be positive")
+        self.world = world
+        self.pool_size = pool_size
+        self.rng = np.random.default_rng(seed)
+
+    def recall(self, context: RequestContext, pool_size: Optional[int] = None) -> np.ndarray:
+        """Return up to ``pool_size`` candidate item indices for the request."""
+        size = pool_size or self.pool_size
+        pool = self.world.items_by_city[context.city]
+        if len(pool) == 0:
+            pool = np.arange(self.world.config.num_items)
+        if len(pool) <= size:
+            return pool.copy()
+        delta = self.world.item_location[pool] - np.array([context.latitude, context.longitude])
+        distance = np.sqrt((delta ** 2).sum(axis=1))
+        weights = 1.0 / (0.05 + distance)
+        weights = weights / weights.sum()
+        return self.rng.choice(pool, size=size, replace=False, p=weights)

@@ -1,0 +1,138 @@
+"""Mutable serving-time state: user histories and item statistics.
+
+Mirrors what Ele.me's Alibaba Basic Feature Server (ABFS) provides at request
+time — the user's profile counters and behaviour sequence — plus the running
+shop-level click statistics used by the candidate-item features.  The state
+can be taken over from an offline :class:`repro.data.LogGenerator` so the
+online experiment continues seamlessly from the end of the training log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..data.log import ImpressionLog, LogGenerator
+from ..data.world import RequestContext, SyntheticWorld
+
+__all__ = ["UserHistoryState", "ServingState"]
+
+
+@dataclass
+class UserHistoryState:
+    """Behaviour history of one user (parallel lists, oldest first)."""
+
+    items: List[int] = field(default_factory=list)
+    categories: List[int] = field(default_factory=list)
+    brands: List[int] = field(default_factory=list)
+    periods: List[int] = field(default_factory=list)
+    hours: List[int] = field(default_factory=list)
+    cities: List[int] = field(default_factory=list)
+    geohash_prefixes: List[str] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def append(self, item: int, category: int, brand: int, period: int, hour: int,
+               city: int, geohash_prefix: str) -> None:
+        self.items.append(item)
+        self.categories.append(category)
+        self.brands.append(brand)
+        self.periods.append(period)
+        self.hours.append(hour)
+        self.cities.append(city)
+        self.geohash_prefixes.append(geohash_prefix)
+
+
+class ServingState:
+    """All per-user and per-item state the online system reads and writes."""
+
+    def __init__(self, world: SyntheticWorld, geohash_match_prefix: int = 4) -> None:
+        self.world = world
+        self.geohash_match_prefix = geohash_match_prefix
+        self.user_clicks = np.zeros(world.config.num_users, dtype=np.int64)
+        self.user_orders = np.zeros(world.config.num_users, dtype=np.int64)
+        self.item_clicks = np.zeros(world.config.num_items, dtype=np.int64)
+        self.histories: Dict[int, UserHistoryState] = {}
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_log_generator(cls, generator: LogGenerator, log: Optional[ImpressionLog] = None
+                           ) -> "ServingState":
+        """Adopt the end-of-training state of an offline log generator."""
+        state = cls(generator.world, geohash_match_prefix=generator.config.geohash_match_prefix)
+        state.user_clicks = generator._user_clicks.copy()
+        state.user_orders = generator._user_orders.copy()
+        for user, history in generator._histories.items():
+            adopted = UserHistoryState(
+                items=list(history.items),
+                categories=list(history.categories),
+                brands=list(history.brands),
+                periods=list(history.periods),
+                hours=list(history.hours),
+                cities=list(history.cities),
+                geohash_prefixes=list(history.geohash_prefixes),
+            )
+            state.histories[user] = adopted
+        if log is not None:
+            np.add.at(state.item_clicks, log.item_index, log.label.astype(np.int64))
+        return state
+
+    # ------------------------------------------------------------------ #
+    def history(self, user_index: int) -> UserHistoryState:
+        return self.histories.setdefault(user_index, UserHistoryState())
+
+    def behavior_snapshot(self, context: RequestContext, max_length: int):
+        """Current behaviour arrays for one request: raw ids, mask, st-filter mask."""
+        ids = np.zeros((max_length, 6), dtype=np.int64)
+        mask = np.zeros(max_length, dtype=np.float32)
+        st_mask = np.zeros(max_length, dtype=np.float32)
+        history = self.histories.get(context.user_index)
+        if history is None or len(history) == 0:
+            return ids, mask, st_mask
+        start = max(0, len(history) - max_length)
+        prefix = context.geohash[: self.geohash_match_prefix]
+        for row, source in enumerate(range(start, len(history))):
+            ids[row] = (
+                history.items[source] + 1,
+                history.categories[source] + 1,
+                history.brands[source] + 1,
+                history.periods[source] + 1,
+                history.hours[source] + 1,
+                history.cities[source] + 1,
+            )
+            mask[row] = 1.0
+            if (
+                history.periods[source] == context.time_period
+                and history.geohash_prefixes[source] == prefix
+            ):
+                st_mask[row] = 1.0
+        return ids, mask, st_mask
+
+    def record_clicks(self, context: RequestContext, items: np.ndarray, clicks: np.ndarray,
+                      order_probability: float = 0.3,
+                      rng: Optional[np.random.Generator] = None) -> None:
+        """Update user and item state after a served request."""
+        rng = rng if rng is not None else np.random.default_rng(0)
+        clicked = np.where(np.asarray(clicks) > 0)[0]
+        if len(clicked) == 0:
+            return
+        history = self.history(context.user_index)
+        prefix = context.geohash[: self.geohash_match_prefix]
+        for index in clicked:
+            item = int(items[index])
+            history.append(
+                item,
+                int(self.world.item_category[item]),
+                int(self.world.item_brand[item]),
+                context.time_period,
+                context.hour,
+                context.city,
+                prefix,
+            )
+            self.user_clicks[context.user_index] += 1
+            self.item_clicks[item] += 1
+            if rng.random() < order_probability:
+                self.user_orders[context.user_index] += 1

@@ -1,0 +1,27 @@
+"""Training loop, evaluation, profiling, and experiment drivers."""
+
+from .config import TrainConfig
+from .evaluator import evaluate_model, predict_dataset
+from .experiment import (
+    ExperimentResult,
+    format_table,
+    run_basm_ablation,
+    run_comparison,
+)
+from .profiler import EfficiencyReport, estimate_memory_mb, profile_model
+from .trainer import Trainer, TrainResult
+
+__all__ = [
+    "TrainConfig",
+    "evaluate_model",
+    "predict_dataset",
+    "ExperimentResult",
+    "format_table",
+    "run_basm_ablation",
+    "run_comparison",
+    "EfficiencyReport",
+    "estimate_memory_mb",
+    "profile_model",
+    "Trainer",
+    "TrainResult",
+]

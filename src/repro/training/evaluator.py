@@ -1,0 +1,43 @@
+"""Offline evaluation: run a model over a split and compute Table IV metrics."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..data.dataset import DataLoader
+from ..data.encoding import EncodedDataset
+from ..metrics.report import MetricReport, evaluate_predictions
+from ..models.base import BaseCTRModel
+
+__all__ = ["predict_dataset", "evaluate_model"]
+
+
+def predict_dataset(
+    model: BaseCTRModel,
+    dataset: EncodedDataset,
+    batch_size: int = 2048,
+) -> np.ndarray:
+    """Score every impression of ``dataset`` (no shuffling, no grad)."""
+    loader = DataLoader(dataset, batch_size=batch_size, shuffle=False)
+    scores = []
+    for batch in loader:
+        scores.append(model.predict(batch))
+    return np.concatenate(scores) if scores else np.zeros(0, dtype=np.float32)
+
+
+def evaluate_model(
+    model: BaseCTRModel,
+    dataset: EncodedDataset,
+    batch_size: int = 2048,
+) -> MetricReport:
+    """Full Table IV metric set (AUC/TAUC/CAUC/NDCG3/NDCG10/LogLoss)."""
+    scores = predict_dataset(model, dataset, batch_size=batch_size)
+    return evaluate_predictions(
+        labels=dataset.labels,
+        scores=scores,
+        time_periods=dataset.time_period,
+        cities=dataset.city,
+        sessions=dataset.session_index,
+    )

@@ -1,0 +1,87 @@
+"""Training-efficiency profiling (paper Table VI).
+
+The paper reports per-epoch wall-clock time and memory for every method on a
+GPU training cluster; on the numpy substrate we report per-epoch wall-clock
+time plus a memory *accounting* (parameter memory + peak activation estimate)
+rather than RSS, which is dominated by the Python interpreter at this scale.
+The quantity that matters for the comparison — how much extra state each
+dynamic-parameter method carries — is captured by the accounting.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..data.encoding import EncodedDataset
+from ..models.base import BaseCTRModel
+from .config import TrainConfig
+from .trainer import Trainer
+
+__all__ = ["EfficiencyReport", "profile_model", "estimate_memory_mb"]
+
+
+@dataclass
+class EfficiencyReport:
+    """One Table VI row."""
+
+    model_name: str
+    seconds_per_epoch: float
+    parameter_count: int
+    parameter_mb: float
+    estimated_total_mb: float
+
+    def as_row(self) -> Dict[str, float]:
+        return {
+            "Methods": self.model_name,
+            "Time / Epoch (s)": round(self.seconds_per_epoch, 2),
+            "#Params": self.parameter_count,
+            "Param MB": round(self.parameter_mb, 2),
+            "Memory (MB)": round(self.estimated_total_mb, 2),
+        }
+
+
+def estimate_memory_mb(model: BaseCTRModel, batch_size: int = 1024,
+                       dynamic_factor: float = 3.0) -> float:
+    """Parameter + optimizer-state + rough activation memory, in megabytes.
+
+    * parameters and Adagrad accumulators: 2 copies of every parameter;
+    * gradients: one more copy;
+    * activations: proportional to batch size times the model's trunk width,
+      multiplied by ``dynamic_factor`` to account for per-sample generated
+      parameters held during the forward/backward pass.
+    """
+    parameter_bytes = model.num_parameters() * 4
+    state_bytes = parameter_bytes * 2
+    activation_bytes = batch_size * model.input_dim() * 4 * dynamic_factor
+    return (parameter_bytes + state_bytes + activation_bytes) / (1024.0 * 1024.0)
+
+
+def profile_model(
+    model: BaseCTRModel,
+    train_data: EncodedDataset,
+    config: Optional[TrainConfig] = None,
+    max_batches: Optional[int] = None,
+) -> EfficiencyReport:
+    """Measure one training epoch (optionally truncated to ``max_batches``)."""
+    config = config or TrainConfig(epochs=1)
+    if max_batches is not None and max_batches > 0:
+        limit = min(len(train_data), max_batches * config.batch_size)
+        train_data = train_data.subset(np.arange(limit))
+    trainer = Trainer(TrainConfig(**{**config.__dict__, "epochs": 1}))
+    result = trainer.fit(model, train_data)
+    batches = max(result.steps, 1)
+    full_batches = int(np.ceil(len(train_data) / config.batch_size))
+    seconds_per_epoch = result.train_seconds * (full_batches / batches)
+    parameter_count = model.num_parameters()
+    parameter_mb = parameter_count * 4 / (1024.0 * 1024.0)
+    return EfficiencyReport(
+        model_name=model.name,
+        seconds_per_epoch=seconds_per_epoch,
+        parameter_count=parameter_count,
+        parameter_mb=parameter_mb,
+        estimated_total_mb=estimate_memory_mb(model, batch_size=config.batch_size),
+    )

@@ -1,0 +1,121 @@
+"""Tests for distribution reports, StAEL heatmaps, t-SNE and separation scores."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    TSNE,
+    activity_statistics_by_city,
+    activity_statistics_by_period,
+    coefficient_of_variation,
+    collect_representations,
+    distribution_report,
+    scatter_separation_ratio,
+    separation_report,
+    silhouette_score,
+    spatiotemporal_bias_matrix,
+    stael_heatmap_by_group,
+)
+from repro.models import create_model
+
+
+class TestDistribution:
+    def test_report_covers_all_hours_cities_periods(self, eleme_dataset):
+        report = distribution_report(eleme_dataset.log)
+        assert set(report.by_hour) == set(range(24))
+        assert len(report.by_time_period) == 5
+        assert len(report.by_city) >= 2
+        total_exposures = sum(entry["exposures"] for entry in report.by_hour.values())
+        assert total_exposures == eleme_dataset.log.num_impressions
+
+    def test_ctr_varies_across_hours_and_cities(self, eleme_dataset):
+        """The Fig. 2 premise: the synthetic data has real spatiotemporal variation."""
+        report = distribution_report(eleme_dataset.log)
+        assert report.ctr_spread_over_hours() > 0.01
+        assert report.ctr_spread_over_cities() > 0.01
+
+    def test_bias_matrix_shape_and_nan_handling(self, eleme_dataset):
+        matrix = spatiotemporal_bias_matrix(eleme_dataset.log, eleme_dataset.config.num_cities)
+        assert matrix.shape == (eleme_dataset.config.num_cities, 24)
+        observed = matrix[~np.isnan(matrix)]
+        assert np.all((observed >= 0) & (observed <= 1))
+        assert coefficient_of_variation(matrix) > 0
+
+    def test_coefficient_of_variation_edge_cases(self):
+        assert np.isnan(coefficient_of_variation([np.nan, np.nan]))
+        assert coefficient_of_variation([1.0, 1.0, 1.0]) == 0.0
+
+
+class TestHeatmaps:
+    def test_activity_statistics(self, eleme_dataset):
+        by_period = activity_statistics_by_period(eleme_dataset.log)
+        assert len(by_period) == 5
+        assert all(row["clicks"] >= 0 for row in by_period)
+        by_city = activity_statistics_by_city(eleme_dataset.log)
+        assert all(row["users"] > 0 for row in by_city)
+
+    def test_stael_heatmap_shape_and_range(self, eleme_dataset, small_model_config):
+        model = create_model("basm", eleme_dataset.schema, small_model_config)
+        heatmap = stael_heatmap_by_group(model, eleme_dataset.test, "time_period", max_batches=2)
+        assert heatmap.matrix.shape[1] == 5  # five fields
+        assert np.all((heatmap.matrix > 0) & (heatmap.matrix < 2))
+        rows = heatmap.as_rows()
+        assert len(rows) == heatmap.matrix.shape[0]
+
+    def test_stael_heatmap_invalid_group(self, eleme_dataset, small_model_config):
+        model = create_model("basm", eleme_dataset.schema, small_model_config)
+        with pytest.raises(ValueError):
+            stael_heatmap_by_group(model, eleme_dataset.test, "weekday")
+
+
+class TestTSNEAndSeparation:
+    def test_tsne_embeds_clusters_apart(self):
+        rng = np.random.default_rng(0)
+        cluster_a = rng.normal(0.0, 0.3, size=(40, 10))
+        cluster_b = rng.normal(4.0, 0.3, size=(40, 10))
+        features = np.vstack([cluster_a, cluster_b])
+        labels = np.array([0] * 40 + [1] * 40)
+        embedding = TSNE(n_iter=150, seed=1).fit_transform(features)
+        assert embedding.shape == (80, 2)
+        assert silhouette_score(embedding, labels) > 0.3
+
+    def test_tsne_input_validation(self):
+        with pytest.raises(ValueError):
+            TSNE().fit_transform(np.zeros((3, 4)))
+        with pytest.raises(ValueError):
+            TSNE(perplexity=0.5)
+
+    def test_silhouette_perfect_separation(self):
+        features = np.array([[0.0], [0.1], [10.0], [10.1]])
+        labels = np.array([0, 0, 1, 1])
+        assert silhouette_score(features, labels) > 0.9
+
+    def test_silhouette_single_class_nan(self):
+        assert np.isnan(silhouette_score(np.zeros((5, 2)), np.zeros(5)))
+
+    def test_scatter_ratio_orders_separation(self):
+        rng = np.random.default_rng(1)
+        tight = np.vstack([rng.normal(0, 0.1, (30, 4)), rng.normal(5, 0.1, (30, 4))])
+        loose = np.vstack([rng.normal(0, 2.0, (30, 4)), rng.normal(1, 2.0, (30, 4))])
+        labels = np.array([0] * 30 + [1] * 30)
+        assert scatter_separation_ratio(tight, labels) > scatter_separation_ratio(loose, labels)
+
+    def test_collect_and_separation_report(self, eleme_dataset, small_model_config):
+        model = create_model("basm", eleme_dataset.schema, small_model_config)
+        representations, periods, cities = collect_representations(
+            model, eleme_dataset.test, max_samples=200
+        )
+        assert representations.shape[0] == periods.shape[0] == cities.shape[0] == 200
+        report = separation_report(model, eleme_dataset.test, "time_period", max_samples=150)
+        assert report.model_name == "basm"
+        assert report.num_samples == 150
+        assert np.isfinite(report.scatter_ratio)
+        row = report.as_row()
+        assert row["Grouping"] == "time_period"
+
+    def test_separation_report_for_non_basm_model(self, eleme_dataset, small_model_config):
+        model = create_model("din", eleme_dataset.schema, small_model_config)
+        report = separation_report(model, eleme_dataset.test, "city", max_samples=120)
+        assert np.isfinite(report.scatter_ratio)

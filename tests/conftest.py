@@ -1,0 +1,77 @@
+"""Shared fixtures: small synthetic datasets reused across the test suite.
+
+The datasets are session-scoped because generation takes a second or two and
+most tests only read from them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    ElemeDatasetConfig,
+    PublicDatasetConfig,
+    make_eleme_dataset,
+    make_public_dataset,
+)
+from repro.models import ModelConfig
+from repro.training import TrainConfig
+
+
+TINY_ELEME = ElemeDatasetConfig(
+    num_users=600,
+    num_items=300,
+    num_cities=4,
+    num_days=3,
+    sessions_per_day=120,
+    candidates_per_session=8,
+    max_behavior_length=12,
+    seed=5,
+)
+
+TINY_PUBLIC = PublicDatasetConfig(
+    num_users=500,
+    num_items=250,
+    num_cities=5,
+    num_days=3,
+    sessions_per_day=100,
+    candidates_per_session=8,
+    max_behavior_length=10,
+    seed=9,
+)
+
+
+@pytest.fixture(scope="session")
+def eleme_dataset():
+    """A tiny but fully-featured Ele.me-style dataset."""
+    return make_eleme_dataset(TINY_ELEME)
+
+
+@pytest.fixture(scope="session")
+def public_dataset():
+    """A tiny public-data-style dataset."""
+    return make_public_dataset(TINY_PUBLIC)
+
+
+@pytest.fixture(scope="session")
+def small_model_config():
+    """Model hyper-parameters small enough for fast unit tests."""
+    return ModelConfig(embedding_dim=4, attention_dim=8, tower_units=(16, 8), seed=1)
+
+
+@pytest.fixture(scope="session")
+def fast_train_config():
+    """One-epoch training configuration for tests that need a fitted model."""
+    return TrainConfig(epochs=1, batch_size=256, warmup_steps=10, seed=1)
+
+
+@pytest.fixture(scope="session")
+def tiny_batch(eleme_dataset):
+    """One small batch from the tiny Ele.me dataset."""
+    return eleme_dataset.train.batch(np.arange(64))
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)

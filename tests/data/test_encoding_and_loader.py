@@ -1,0 +1,125 @@
+"""Tests for dataset encoding, splits, statistics and the DataLoader."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import DataLoader, compute_statistics, temporal_split
+from repro.data.encoding import _prior_item_clicks
+from repro.features import FieldName
+
+
+class TestEncoding:
+    def test_field_shapes(self, eleme_dataset):
+        data = eleme_dataset.full
+        assert data.field_ids[FieldName.USER].shape == (len(data), 6)
+        assert data.field_ids[FieldName.CANDIDATE_ITEM].shape == (len(data), 8)
+        assert data.field_ids[FieldName.CONTEXT].shape == (len(data), 6)
+        assert data.field_ids[FieldName.COMBINE].shape == (len(data), 3)
+        assert data.behavior_ids.shape[2] == 6
+
+    def test_public_field_shapes(self, public_dataset):
+        data = public_dataset.full
+        assert data.field_ids[FieldName.USER].shape[1] == 2
+        assert data.field_ids[FieldName.CANDIDATE_ITEM].shape[1] == 3
+        assert data.behavior_ids.shape[2] == 4
+
+    def test_global_ids_within_vocab(self, eleme_dataset):
+        data = eleme_dataset.full
+        top = data.schema.total_vocab_size
+        for array in data.field_ids.values():
+            assert array.min() >= 0
+            assert array.max() < top
+        assert data.behavior_ids.max() < top
+
+    def test_ids_land_in_their_feature_range(self, eleme_dataset):
+        data = eleme_dataset.full
+        schema = data.schema
+        hour_column = data.field_ids[FieldName.CONTEXT][:, 1]
+        offset = schema.offset("ctx_hour")
+        size = schema.spec("ctx_hour").vocab_size
+        assert np.all(hour_column >= offset)
+        assert np.all(hour_column < offset + size)
+
+    def test_group_keys_match_log(self, eleme_dataset):
+        data = eleme_dataset.full
+        log = eleme_dataset.log
+        assert np.array_equal(data.time_period, log.impression_period())
+        assert np.array_equal(data.city, log.impression_city())
+        assert np.array_equal(data.labels, log.label.astype(np.float32))
+
+    def test_prior_item_clicks_has_no_same_day_leakage(self, eleme_dataset):
+        log = eleme_dataset.log
+        prior = _prior_item_clicks(log, eleme_dataset.world.config.num_items)
+        first_day = log.impression_day() == log.impression_day().min()
+        assert np.all(prior[first_day] == 0)
+        assert prior.min() >= 0
+
+    def test_subset_keeps_alignment(self, eleme_dataset):
+        data = eleme_dataset.full
+        indices = np.arange(0, len(data), 7)
+        subset = data.subset(indices)
+        assert len(subset) == len(indices)
+        assert np.array_equal(subset.labels, data.labels[indices])
+        assert np.array_equal(subset.session_index, data.session_index[indices])
+
+    def test_batch_contains_all_keys(self, eleme_dataset):
+        batch = eleme_dataset.train.batch(np.arange(32))
+        for key in ["fields", "behavior", "behavior_mask", "behavior_st_mask",
+                    "labels", "time_period", "city", "hour", "session", "position"]:
+            assert key in batch
+        assert batch["behavior"].shape[0] == 32
+
+
+class TestSplitsAndStats:
+    def test_last_day_is_test(self, eleme_dataset):
+        train, test = temporal_split(eleme_dataset.full, num_test_days=1)
+        assert set(np.unique(test.day)) == {int(eleme_dataset.full.day.max())}
+        assert len(train) + len(test) == len(eleme_dataset.full)
+        assert len(np.intersect1d(np.unique(train.day), np.unique(test.day))) == 0
+
+    def test_split_requires_enough_days(self, eleme_dataset):
+        with pytest.raises(ValueError):
+            temporal_split(eleme_dataset.full, num_test_days=10)
+
+    def test_statistics_match_log(self, eleme_dataset):
+        stats = compute_statistics("Ele.me", eleme_dataset.log, eleme_dataset.schema)
+        assert stats.total_size == eleme_dataset.log.num_impressions
+        assert stats.num_clicks == eleme_dataset.log.num_clicks
+        assert stats.num_features == 29
+        row = stats.as_row()
+        assert row["Datasets"] == "Ele.me"
+        assert row["ML of User Behaviors"] > 0
+
+    def test_dataset_factories_expose_consistent_pieces(self, eleme_dataset, public_dataset):
+        assert eleme_dataset.schema.name == "eleme"
+        assert public_dataset.schema.name == "public"
+        assert len(eleme_dataset.train) + len(eleme_dataset.test) == len(eleme_dataset.full)
+        # Public data is configured to be the harder, lower-CTR dataset.
+        assert public_dataset.full.overall_ctr < eleme_dataset.full.overall_ctr
+
+
+class TestDataLoader:
+    def test_batches_cover_dataset(self, eleme_dataset):
+        loader = DataLoader(eleme_dataset.train, batch_size=256, shuffle=False)
+        total = sum(len(batch["labels"]) for batch in loader)
+        assert total == len(eleme_dataset.train)
+        assert len(loader) == int(np.ceil(len(eleme_dataset.train) / 256))
+
+    def test_shuffle_changes_order_but_not_content(self, eleme_dataset):
+        plain = DataLoader(eleme_dataset.train, batch_size=len(eleme_dataset.train), shuffle=False)
+        shuffled = DataLoader(eleme_dataset.train, batch_size=len(eleme_dataset.train), shuffle=True, seed=3)
+        labels_plain = next(iter(plain))["labels"]
+        labels_shuffled = next(iter(shuffled))["labels"]
+        assert not np.array_equal(labels_plain, labels_shuffled)
+        assert np.isclose(labels_plain.sum(), labels_shuffled.sum())
+
+    def test_drop_last(self, eleme_dataset):
+        loader = DataLoader(eleme_dataset.train, batch_size=300, shuffle=False, drop_last=True)
+        sizes = [len(batch["labels"]) for batch in loader]
+        assert all(size == 300 for size in sizes)
+
+    def test_invalid_batch_size(self, eleme_dataset):
+        with pytest.raises(ValueError):
+            DataLoader(eleme_dataset.train, batch_size=0)

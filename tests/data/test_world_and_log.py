@@ -1,0 +1,151 @@
+"""Tests for the synthetic OFOS world and the impression-log simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import LogConfig, LogGenerator, SyntheticWorld, WorldConfig
+from repro.features import TimePeriod, hour_to_time_period
+
+
+@pytest.fixture(scope="module")
+def small_world():
+    return SyntheticWorld(WorldConfig(num_users=300, num_items=200, num_cities=4, seed=3))
+
+
+class TestWorld:
+    def test_entity_shapes(self, small_world):
+        config = small_world.config
+        assert small_world.user_city.shape == (config.num_users,)
+        assert small_world.item_location.shape == (config.num_items, 2)
+        assert len(small_world.user_home_geohash) == config.num_users
+        assert small_world.city_population_share.shape == (config.num_cities,)
+
+    def test_population_shares_sum_to_one_and_decrease(self, small_world):
+        shares = small_world.city_population_share
+        assert np.isclose(shares.sum(), 1.0)
+        assert np.all(np.diff(shares) < 0)
+
+    def test_user_activity_correlates_with_city_size(self, small_world):
+        """Fig. 9a structure: users in larger (lower-index) cities are more active."""
+        activity_city0 = small_world.user_activity[small_world.user_city == 0].mean()
+        activity_last = small_world.user_activity[
+            small_world.user_city == small_world.config.num_cities - 1
+        ].mean()
+        assert activity_city0 > activity_last
+
+    def test_click_logits_shape_and_determinism(self, small_world):
+        rng = np.random.default_rng(0)
+        items = np.arange(10)
+        logits_a = small_world.click_logits(0, items, 12, 0, (30.0, 110.0), rng=np.random.default_rng(1))
+        logits_b = small_world.click_logits(0, items, 12, 0, (30.0, 110.0), rng=np.random.default_rng(1))
+        assert logits_a.shape == (10,)
+        assert np.allclose(logits_a, logits_b)
+
+    def test_position_bias_decreases_probability(self, small_world):
+        items = np.arange(5)
+        no_noise_config = WorldConfig(num_users=300, num_items=200, num_cities=4, seed=3, noise_std=0.0)
+        world = SyntheticWorld(no_noise_config)
+        first = world.click_probabilities(0, items, 12, 0, (30.0, 110.0), positions=np.zeros(5))
+        last = world.click_probabilities(0, items, 12, 0, (30.0, 110.0), positions=np.full(5, 9))
+        assert np.all(first > last)
+
+    def test_mealtime_ctr_higher_than_offpeak(self):
+        """The hour-level CTR structure of Fig. 2a: meal hours beat off-peak hours."""
+        world = SyntheticWorld(WorldConfig(num_users=200, num_items=150, noise_std=0.0, seed=1))
+        items = np.arange(80)
+        lunch = world.click_probabilities(3, items, 12, 0, (30.0, 110.0)).mean()
+        mid_afternoon = world.click_probabilities(3, items, 15, 0, (30.0, 110.0)).mean()
+        assert lunch > mid_afternoon
+
+    def test_request_context_fields_consistent(self, small_world):
+        rng = np.random.default_rng(5)
+        context = small_world.sample_request_context(day=2, rng=rng)
+        assert 0 <= context.hour <= 23
+        assert context.time_period == int(hour_to_time_period(context.hour))
+        assert context.city == small_world.user_city[context.user_index]
+        assert len(context.geohash) == small_world.config.geohash_precision
+
+    def test_candidate_items_belong_to_request_city(self, small_world):
+        rng = np.random.default_rng(7)
+        context = small_world.sample_request_context(day=0, rng=rng)
+        candidates = small_world.candidate_items(context, 12, rng)
+        assert len(candidates) <= 12
+        assert np.all(small_world.item_city[candidates] == context.city)
+        assert len(np.unique(candidates)) == len(candidates)
+
+    def test_items_by_city_category_partition(self, small_world):
+        total = sum(
+            len(small_world.items_by_city_category[(city, category)])
+            for city in range(small_world.config.num_cities)
+            for category in range(small_world.config.num_categories)
+        )
+        assert total == small_world.config.num_items
+
+
+class TestLogGenerator:
+    @pytest.fixture(scope="class")
+    def log_and_generator(self, small_world):
+        generator = LogGenerator(
+            small_world,
+            LogConfig(num_days=3, sessions_per_day=80, candidates_per_session=6,
+                      max_behavior_length=10, warmup_events_per_user=8, seed=2),
+        )
+        return generator.simulate(), generator
+
+    def test_log_sizes(self, log_and_generator):
+        log, _ = log_and_generator
+        assert log.num_sessions == 3 * 80
+        assert log.num_impressions == log.num_sessions * 6
+        assert log.behavior_raw.shape == (log.num_sessions, 10, 6)
+
+    def test_labels_are_binary_and_ctr_reasonable(self, log_and_generator):
+        log, _ = log_and_generator
+        assert set(np.unique(log.label)).issubset({0.0, 1.0})
+        assert 0.01 < log.overall_ctr < 0.5
+
+    def test_impression_views_align_with_sessions(self, log_and_generator):
+        log, _ = log_and_generator
+        assert np.array_equal(log.impression_hour(), log.session_hour[log.session_index])
+        assert np.array_equal(log.impression_city(), log.session_city[log.session_index])
+
+    def test_warmup_gives_nonempty_behaviors(self, log_and_generator):
+        log, _ = log_and_generator
+        assert log.mean_behavior_length() > 3.0
+
+    def test_behavior_mask_consistency(self, log_and_generator):
+        log, _ = log_and_generator
+        # Wherever the mask is zero, the raw ids must be padding (zero).
+        padding = log.behavior_raw[log.behavior_mask == 0.0]
+        assert np.all(padding == 0)
+        # The spatiotemporal filter mask is a subset of the validity mask.
+        assert np.all(log.behavior_st_mask <= log.behavior_mask)
+
+    def test_select_days_partitions_impressions(self, log_and_generator):
+        log, _ = log_and_generator
+        first = log.select_days([0])
+        rest = log.select_days([1, 2])
+        assert first.num_impressions + rest.num_impressions == log.num_impressions
+        assert set(np.unique(first.session_day)) == {0}
+        # Session indices must be re-mapped into the selected range.
+        assert first.session_index.max() == first.num_sessions - 1
+
+    def test_user_click_counters_monotone_over_days(self, small_world):
+        generator = LogGenerator(
+            small_world,
+            LogConfig(num_days=2, sessions_per_day=50, warmup_events_per_user=0, seed=4),
+        )
+        log = generator.simulate()
+        # The per-session click counter snapshots never decrease for a given user.
+        for user in np.unique(log.session_user):
+            mask = log.session_user == user
+            counts = log.session_user_clicks[mask]
+            assert np.all(np.diff(counts) >= 0)
+
+    def test_simulation_reproducible_with_same_seed(self, small_world):
+        config = LogConfig(num_days=1, sessions_per_day=40, warmup_events_per_user=3, seed=8)
+        log_a = LogGenerator(small_world, config).simulate()
+        log_b = LogGenerator(small_world, config).simulate()
+        assert np.array_equal(log_a.label, log_b.label)
+        assert np.array_equal(log_a.item_index, log_b.item_index)

@@ -1,0 +1,283 @@
+"""Unit tests for the autodiff engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor, no_grad
+from repro.nn.tensor import _unbroadcast
+
+
+def numerical_gradient(fn, value, eps=1e-3):
+    """Central-difference gradient of a scalar-valued function of an array."""
+    value = np.asarray(value, dtype=np.float64)
+    grad = np.zeros_like(value)
+    it = np.nditer(value, flags=["multi_index"])
+    while not it.finished:
+        index = it.multi_index
+        plus = value.copy()
+        plus[index] += eps
+        minus = value.copy()
+        minus[index] -= eps
+        grad[index] = (fn(plus) - fn(minus)) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+class TestBasicOps:
+    def test_add_backward(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        (a + b).sum().backward()
+        assert np.allclose(a.grad, 1.0)
+        assert np.allclose(b.grad, 1.0)
+
+    def test_mul_backward(self, rng):
+        a_value = rng.normal(size=(3, 4))
+        b_value = rng.normal(size=(3, 4))
+        a = Tensor(a_value, requires_grad=True)
+        b = Tensor(b_value, requires_grad=True)
+        (a * b).sum().backward()
+        assert np.allclose(a.grad, b_value.astype(np.float32), atol=1e-5)
+        assert np.allclose(b.grad, a_value.astype(np.float32), atol=1e-5)
+
+    def test_sub_and_neg(self, rng):
+        a = Tensor(rng.normal(size=(4,)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4,)), requires_grad=True)
+        (a - b).sum().backward()
+        assert np.allclose(a.grad, 1.0)
+        assert np.allclose(b.grad, -1.0)
+
+    def test_div_backward_matches_numerical(self, rng):
+        a_value = rng.uniform(0.5, 2.0, size=(3, 3))
+        b_value = rng.uniform(0.5, 2.0, size=(3, 3))
+        a = Tensor(a_value, requires_grad=True)
+        b = Tensor(b_value, requires_grad=True)
+        (a / b).sum().backward()
+        expected_a = numerical_gradient(lambda v: (v / b_value).sum(), a_value)
+        expected_b = numerical_gradient(lambda v: (a_value / v).sum(), b_value)
+        assert np.allclose(a.grad, expected_a, atol=1e-3)
+        assert np.allclose(b.grad, expected_b, atol=1e-3)
+
+    def test_matmul_backward_matches_numerical(self, rng):
+        a_value = rng.normal(size=(4, 3))
+        b_value = rng.normal(size=(3, 2))
+        a = Tensor(a_value, requires_grad=True)
+        b = Tensor(b_value, requires_grad=True)
+        (a @ b).sum().backward()
+        expected_a = numerical_gradient(lambda v: (v @ b_value).sum(), a_value)
+        expected_b = numerical_gradient(lambda v: (a_value @ v).sum(), b_value)
+        assert np.allclose(a.grad, expected_a, atol=1e-3)
+        assert np.allclose(b.grad, expected_b, atol=1e-3)
+
+    def test_batched_matmul_shapes_and_grads(self, rng):
+        a = Tensor(rng.normal(size=(5, 2, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(5, 3, 4)), requires_grad=True)
+        out = a @ b
+        assert out.shape == (5, 2, 4)
+        out.sum().backward()
+        assert a.grad.shape == (5, 2, 3)
+        assert b.grad.shape == (5, 3, 4)
+
+    def test_pow_backward(self, rng):
+        value = rng.uniform(0.5, 2.0, size=(4,))
+        x = Tensor(value, requires_grad=True)
+        (x ** 3).sum().backward()
+        assert np.allclose(x.grad, 3 * value ** 2, atol=1e-4)
+
+    def test_rsub_rdiv(self):
+        x = Tensor([2.0, 4.0], requires_grad=True)
+        y = 1.0 - x
+        assert np.allclose(y.data, [-1.0, -3.0])
+        z = 8.0 / x
+        assert np.allclose(z.data, [4.0, 2.0])
+
+    def test_scalar_broadcast_grad(self, rng):
+        x = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        bias = Tensor(rng.normal(size=(4,)), requires_grad=True)
+        (x + bias).sum().backward()
+        assert bias.grad.shape == (4,)
+        assert np.allclose(bias.grad, 3.0)
+
+
+class TestNonlinearities:
+    @pytest.mark.parametrize("op", ["sigmoid", "tanh", "relu", "exp"])
+    def test_unary_backward_matches_numerical(self, op, rng):
+        value = rng.normal(size=(5,)).astype(np.float64)
+        x = Tensor(value, requires_grad=True)
+        getattr(x, op)().sum().backward()
+        expected = numerical_gradient(
+            lambda v: getattr(Tensor(v), op)().sum().item(), value
+        )
+        assert np.allclose(x.grad, expected, atol=1e-2)
+
+    def test_leaky_relu_negative_slope(self):
+        x = Tensor([-2.0, 3.0], requires_grad=True)
+        y = x.leaky_relu(0.1)
+        assert np.allclose(y.data, [-0.2, 3.0])
+        y.sum().backward()
+        assert np.allclose(x.grad, [0.1, 1.0])
+
+    def test_log_backward(self, rng):
+        value = rng.uniform(0.5, 2.0, size=(4,))
+        x = Tensor(value, requires_grad=True)
+        x.log().sum().backward()
+        assert np.allclose(x.grad, 1.0 / value, atol=1e-4)
+
+    def test_softmax_rows_sum_to_one(self, rng):
+        x = Tensor(rng.normal(size=(6, 5)), requires_grad=True)
+        probabilities = x.softmax(axis=-1)
+        assert np.allclose(probabilities.data.sum(axis=-1), 1.0, atol=1e-5)
+
+    def test_softmax_backward_matches_numerical(self, rng):
+        value = rng.normal(size=(2, 3))
+        weights = rng.normal(size=(2, 3))
+        x = Tensor(value, requires_grad=True)
+        (x.softmax(axis=-1) * Tensor(weights)).sum().backward()
+
+        def fn(v):
+            shifted = v - v.max(axis=-1, keepdims=True)
+            e = np.exp(shifted)
+            return float((e / e.sum(axis=-1, keepdims=True) * weights).sum())
+
+        expected = numerical_gradient(fn, value)
+        assert np.allclose(x.grad, expected, atol=1e-3)
+
+    def test_clip_gradient_is_zero_outside_range(self):
+        x = Tensor([-2.0, 0.5, 2.0], requires_grad=True)
+        x.clip(0.0, 1.0).sum().backward()
+        assert np.allclose(x.grad, [0.0, 1.0, 0.0])
+
+
+class TestReductionsAndShapes:
+    def test_mean_axis_backward(self, rng):
+        x = Tensor(rng.normal(size=(4, 6)), requires_grad=True)
+        x.mean(axis=1).sum().backward()
+        assert np.allclose(x.grad, 1.0 / 6.0, atol=1e-6)
+
+    def test_sum_keepdims(self, rng):
+        x = Tensor(rng.normal(size=(3, 5)), requires_grad=True)
+        out = x.sum(axis=0, keepdims=True)
+        assert out.shape == (1, 5)
+        out.sum().backward()
+        assert np.allclose(x.grad, 1.0)
+
+    def test_max_gradient_splits_ties(self):
+        x = Tensor([[1.0, 2.0, 2.0]], requires_grad=True)
+        x.max(axis=1).sum().backward()
+        assert np.isclose(x.grad.sum(), 1.0)
+        assert x.grad[0, 0] == 0.0
+
+    def test_var_matches_numpy(self, rng):
+        value = rng.normal(size=(8, 3))
+        x = Tensor(value)
+        assert np.allclose(x.var(axis=0).data, value.astype(np.float32).var(axis=0), atol=1e-5)
+
+    def test_reshape_transpose_roundtrip(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        y = x.reshape(6, 4).transpose()
+        assert y.shape == (4, 6)
+        y.sum().backward()
+        assert x.grad.shape == (2, 3, 4)
+
+    def test_getitem_backward_accumulates(self):
+        x = Tensor(np.arange(6, dtype=np.float32).reshape(2, 3), requires_grad=True)
+        x[0].sum().backward()
+        assert np.allclose(x.grad, [[1, 1, 1], [0, 0, 0]])
+
+    def test_take_rows_accumulates_duplicate_indices(self):
+        x = Tensor(np.ones((4, 2), dtype=np.float32), requires_grad=True)
+        indices = np.array([0, 0, 2])
+        x.take_rows(indices).sum().backward()
+        assert np.allclose(x.grad[0], 2.0)
+        assert np.allclose(x.grad[2], 1.0)
+        assert np.allclose(x.grad[1], 0.0)
+
+    def test_concat_backward_splits(self, rng):
+        a = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(2, 5)), requires_grad=True)
+        out = Tensor.concat([a, b], axis=1)
+        assert out.shape == (2, 8)
+        (out * 2.0).sum().backward()
+        assert np.allclose(a.grad, 2.0)
+        assert np.allclose(b.grad, 2.0)
+
+    def test_stack_and_where(self, rng):
+        a = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        stacked = Tensor.stack([a, b], axis=0)
+        assert stacked.shape == (2, 3)
+        condition = np.array([True, False, True])
+        chosen = Tensor.where(condition, a, b)
+        chosen.sum().backward()
+        assert np.allclose(a.grad, [1.0, 0.0, 1.0])
+        assert np.allclose(b.grad, [0.0, 1.0, 0.0])
+
+    def test_expand_squeeze(self, rng):
+        x = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        y = x.expand_dims(1)
+        assert y.shape == (3, 1, 4)
+        z = y.squeeze(1)
+        assert z.shape == (3, 4)
+
+
+class TestGraphMechanics:
+    def test_no_grad_disables_graph(self, rng):
+        with no_grad():
+            x = Tensor(rng.normal(size=(3,)), requires_grad=True)
+            y = x * 2.0
+        assert not y.requires_grad
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        x = Tensor([1.0, 2.0])
+        with pytest.raises(RuntimeError):
+            x.backward()
+
+    def test_detach_cuts_graph(self, rng):
+        x = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        y = (x * 2.0).detach() * 3.0
+        assert not y.requires_grad
+
+    def test_gradient_accumulates_across_uses(self, rng):
+        x = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        y = x * 2.0 + x * 3.0
+        y.sum().backward()
+        assert np.allclose(x.grad, 5.0)
+
+    def test_diamond_graph_gradient(self):
+        x = Tensor([2.0], requires_grad=True)
+        a = x * 3.0
+        b = x * 4.0
+        (a * b).backward()
+        # d/dx (12 x^2) = 24 x = 48
+        assert np.allclose(x.grad, [48.0])
+
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=1, max_value=6))
+    @settings(max_examples=20, deadline=None)
+    def test_unbroadcast_restores_shape(self, rows, cols):
+        grad = np.ones((rows, cols), dtype=np.float32)
+        assert _unbroadcast(grad, (1, cols)).shape == (1, cols)
+        assert _unbroadcast(grad, (cols,)).shape == (cols,)
+
+    @given(
+        st.lists(st.floats(min_value=-3, max_value=3, allow_nan=False), min_size=2, max_size=8)
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_sigmoid_output_range_property(self, values):
+        out = Tensor(np.array(values)).sigmoid().data
+        assert np.all(out > 0.0) and np.all(out < 1.0)
+
+    @given(
+        st.lists(st.floats(min_value=-5, max_value=5, allow_nan=False), min_size=2, max_size=10)
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_composite_gradient_property(self, values):
+        """Gradient of sum(sigmoid(x)) equals sigmoid(x)(1 - sigmoid(x)) elementwise."""
+        x = Tensor(np.array(values), requires_grad=True)
+        out = x.sigmoid()
+        out.sum().backward()
+        expected = out.data * (1.0 - out.data)
+        assert np.allclose(x.grad, expected, atol=1e-5)

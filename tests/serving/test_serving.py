@@ -1,0 +1,186 @@
+"""Tests for the online serving stack: state, encoder, recall, ranking, A/B."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import LogGenerator
+from repro.features import FieldName
+from repro.models import create_model
+from repro.serving import (
+    ABTestConfig,
+    ABTestSimulator,
+    LocationBasedRecall,
+    OnlineRequestEncoder,
+    PersonalizationPlatform,
+    Ranker,
+    ServingState,
+)
+
+
+@pytest.fixture(scope="module")
+def serving_setup(eleme_dataset):
+    """Serving state carried over from the offline log, plus the encoder."""
+    generator = LogGenerator(eleme_dataset.world, eleme_dataset.config.log_config())
+    state = ServingState.from_log_generator(generator, eleme_dataset.log)
+    encoder = OnlineRequestEncoder(eleme_dataset.world, eleme_dataset.schema)
+    return state, encoder
+
+
+class TestServingState:
+    def test_state_adopts_generator_histories(self, eleme_dataset, serving_setup):
+        state, _ = serving_setup
+        assert len(state.histories) > 0
+        assert state.user_clicks.sum() > 0
+        assert state.item_clicks.sum() == eleme_dataset.log.num_clicks
+
+    def test_behavior_snapshot_shapes(self, eleme_dataset, serving_setup):
+        state, _ = serving_setup
+        rng = np.random.default_rng(0)
+        context = eleme_dataset.world.sample_request_context(50, rng)
+        ids, mask, st_mask = state.behavior_snapshot(context, eleme_dataset.schema.max_sequence_length)
+        assert ids.shape == (eleme_dataset.schema.max_sequence_length, 6)
+        assert np.all(st_mask <= mask)
+
+    def test_record_clicks_updates_counters(self, eleme_dataset, serving_setup):
+        state, _ = serving_setup
+        rng = np.random.default_rng(1)
+        context = eleme_dataset.world.sample_request_context(51, rng)
+        before = int(state.user_clicks[context.user_index])
+        items = np.array([1, 2, 3])
+        state.record_clicks(context, items, np.array([1.0, 0.0, 1.0]), rng=rng)
+        assert state.user_clicks[context.user_index] == before + 2
+        assert len(state.history(context.user_index)) >= 2
+
+
+class TestOnlineEncoderConsistency:
+    def test_encoder_batch_has_model_ready_shapes(self, eleme_dataset, serving_setup):
+        state, encoder = serving_setup
+        rng = np.random.default_rng(2)
+        context = eleme_dataset.world.sample_request_context(52, rng)
+        candidates = eleme_dataset.world.candidate_items(context, 8, rng)
+        batch = encoder.encode(context, candidates, state)
+        assert batch["fields"][FieldName.USER].shape == (len(candidates), 6)
+        assert batch["behavior"].shape[0] == len(candidates)
+        assert batch["fields"][FieldName.CONTEXT].max() < eleme_dataset.schema.total_vocab_size
+
+    def test_offline_and_online_encoders_agree(self, eleme_dataset):
+        """Offline/online feature consistency: the same request must encode identically.
+
+        We re-simulate a single extra session with a fresh generator that has the
+        same state, then encode the same request online and compare the static
+        candidate-item and context features (user counters are request-level
+        snapshots in both paths).
+        """
+        from repro.data.encoding import encode_eleme_log
+
+        generator = LogGenerator(eleme_dataset.world, eleme_dataset.config.log_config())
+        log = generator.simulate(num_days=1, start_day=90)
+        offline = encode_eleme_log(log, eleme_dataset.world, eleme_dataset.schema)
+
+        state = ServingState(eleme_dataset.world,
+                             geohash_match_prefix=generator.config.geohash_match_prefix)
+        encoder = OnlineRequestEncoder(eleme_dataset.world, eleme_dataset.schema)
+
+        # Re-encode the first session online with the same candidates/positions.
+        session = 0
+        impressions = np.where(log.session_index == session)[0]
+        from repro.data.world import RequestContext
+
+        context = RequestContext(
+            user_index=int(log.session_user[session]),
+            day=int(log.session_day[session]),
+            hour=int(log.session_hour[session]),
+            time_period=int(log.session_period[session]),
+            city=int(log.session_city[session]),
+            latitude=0.0,
+            longitude=0.0,
+            geohash=log.session_geohash[session],
+        )
+        # Use the item's own location offsets through the world helper by giving
+        # the online encoder the exact same distances: we reconstruct the request
+        # location from the offline distance of the first candidate is overkill;
+        # instead compare only the distance-independent features.
+        candidates = log.item_index[impressions]
+        positions = log.position[impressions]
+        online = encoder.encode(context, candidates, state, positions=positions)
+
+        offline_item = offline.field_ids[FieldName.CANDIDATE_ITEM][impressions]
+        online_item = online["fields"][FieldName.CANDIDATE_ITEM]
+        # Columns: item_id, category, brand, price, quality, clicks, distance, position.
+        static_columns = [0, 1, 2, 3, 4, 7]
+        assert np.array_equal(offline_item[:, static_columns], online_item[:, static_columns])
+
+        offline_context = offline.field_ids[FieldName.CONTEXT][impressions]
+        online_context = online["fields"][FieldName.CONTEXT]
+        assert np.array_equal(offline_context, online_context)
+
+
+class TestRecallAndRanking:
+    def test_recall_respects_city_and_pool_size(self, eleme_dataset):
+        recall = LocationBasedRecall(eleme_dataset.world, pool_size=12)
+        rng = np.random.default_rng(3)
+        context = eleme_dataset.world.sample_request_context(60, rng)
+        candidates = recall.recall(context)
+        assert len(candidates) <= 12
+        assert np.all(eleme_dataset.world.item_city[candidates] == context.city)
+
+    def test_recall_pool_size_validation(self, eleme_dataset):
+        with pytest.raises(ValueError):
+            LocationBasedRecall(eleme_dataset.world, pool_size=0)
+
+    def test_ranker_returns_topk_sorted_by_score(self, eleme_dataset, serving_setup, small_model_config):
+        state, encoder = serving_setup
+        model = create_model("wide_deep", eleme_dataset.schema, small_model_config)
+        ranker = Ranker(model, encoder)
+        rng = np.random.default_rng(4)
+        context = eleme_dataset.world.sample_request_context(61, rng)
+        candidates = eleme_dataset.world.candidate_items(context, 15, rng)
+        items, scores = ranker.rank(context, candidates, state, top_k=5)
+        assert len(items) == 5
+        assert np.all(np.diff(scores) <= 1e-9)
+        assert set(items).issubset(set(candidates.tolist()))
+
+    def test_platform_serves_and_accepts_feedback(self, eleme_dataset, serving_setup, small_model_config):
+        state, encoder = serving_setup
+        model = create_model("basm", eleme_dataset.schema, small_model_config)
+        platform = PersonalizationPlatform(
+            eleme_dataset.world, model, encoder, state, recall_size=15, exposure_size=6
+        )
+        rng = np.random.default_rng(5)
+        context = eleme_dataset.world.sample_request_context(62, rng)
+        impression = platform.serve(context)
+        assert len(impression) == 6
+        platform.feedback(impression, np.zeros(6), rng=rng)
+
+
+class TestABSimulation:
+    def test_ab_result_accounting(self, eleme_dataset, serving_setup, small_model_config):
+        state, encoder = serving_setup
+        control = create_model("base_din", eleme_dataset.schema, small_model_config)
+        treatment = create_model("basm", eleme_dataset.schema, small_model_config)
+        simulator = ABTestSimulator(
+            eleme_dataset.world, control, treatment, encoder, state,
+            ABTestConfig(num_days=2, requests_per_day=25, recall_size=15, exposure_size=5, seed=3),
+        )
+        result = simulator.run()
+        assert len(result.daily) == 2
+        total_exposures = result.control.exposures + result.treatment.exposures
+        assert total_exposures == 2 * 25 * 5
+        rows = result.table7_rows()
+        assert rows[-1]["Day"] == "Avg"
+        assert len(result.figure12_time_period_rows()) == 5
+        assert 0 <= result.average_control_ctr <= 1
+        # Exposure shares over cities sum to one for the treatment bucket.
+        city_rows = result.figure12_city_rows()
+        assert np.isclose(sum(row["Exposure Ratio"] for row in city_rows), 1.0, atol=1e-6)
+
+    def test_bucket_split_is_deterministic(self, eleme_dataset, serving_setup, small_model_config):
+        state, encoder = serving_setup
+        control = create_model("wide_deep", eleme_dataset.schema, small_model_config)
+        treatment = create_model("basm", eleme_dataset.schema, small_model_config)
+        simulator = ABTestSimulator(eleme_dataset.world, control, treatment, encoder, state)
+        assert simulator._bucket_of(42) == simulator._bucket_of(42)
+        buckets = {simulator._bucket_of(user) for user in range(200)}
+        assert buckets == {"control", "treatment"}

@@ -1,0 +1,88 @@
+"""End-to-end integration tests: offline training through online serving.
+
+These tests exercise the whole pipeline the way the examples and benchmarks
+do, at miniature scale: generate a world and logs, encode, train BASM and a
+baseline, evaluate with the paper's metrics, then carry the state online and
+run a short A/B simulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import DataLoader, LogGenerator
+from repro.metrics import auc
+from repro.models import create_model
+from repro.serving import ABTestConfig, ABTestSimulator, OnlineRequestEncoder, ServingState
+from repro.training import TrainConfig, Trainer, evaluate_model, predict_dataset
+
+
+class TestOfflinePipeline:
+    def test_train_two_models_and_compare(self, eleme_dataset, small_model_config):
+        """BASM and Wide&Deep both train end-to-end and produce valid reports."""
+        config = TrainConfig(epochs=2, batch_size=256, warmup_steps=15, seed=2)
+        reports = {}
+        for name in ("wide_deep", "basm"):
+            model = create_model(name, eleme_dataset.schema, small_model_config)
+            Trainer(config).fit(model, eleme_dataset.train)
+            reports[name] = evaluate_model(model, eleme_dataset.test)
+        for report in reports.values():
+            assert 0.5 < report.auc < 1.0
+            assert 0.0 < report.logloss < 1.0
+            assert 0.0 < report.ndcg10 <= 1.0
+
+    def test_predictions_use_learned_spatiotemporal_signal(self, eleme_dataset, small_model_config):
+        """After training, BASM's scores rank clicked impressions above unclicked
+        ones within the same time-period (the TAUC property)."""
+        model = create_model("basm", eleme_dataset.schema, small_model_config)
+        Trainer(TrainConfig(epochs=2, batch_size=256, warmup_steps=15)).fit(model, eleme_dataset.train)
+        scores = predict_dataset(model, eleme_dataset.test)
+        labels = eleme_dataset.test.labels
+        periods = eleme_dataset.test.time_period
+        # At least one time-period has a within-period AUC above chance.
+        per_period = []
+        for period in np.unique(periods):
+            mask = periods == period
+            value = auc(labels[mask], scores[mask])
+            if not np.isnan(value):
+                per_period.append(value)
+        assert max(per_period) > 0.55
+
+    def test_model_state_roundtrip_preserves_predictions(self, eleme_dataset, small_model_config):
+        model = create_model("basm", eleme_dataset.schema, small_model_config)
+        Trainer(TrainConfig(epochs=1, batch_size=512, warmup_steps=5)).fit(model, eleme_dataset.train)
+        batch = eleme_dataset.test.batch(np.arange(64))
+        before = model.predict(batch)
+        clone = create_model("basm", eleme_dataset.schema, small_model_config)
+        clone.load_state_dict(model.state_dict())
+        after = clone.predict(batch)
+        assert np.allclose(before, after, atol=1e-5)
+
+
+class TestOfflineToOnlineHandoff:
+    def test_full_loop(self, eleme_dataset, small_model_config):
+        """Offline training -> serving state handoff -> A/B simulation."""
+        config = TrainConfig(epochs=1, batch_size=512, warmup_steps=10)
+        base = create_model("base_din", eleme_dataset.schema, small_model_config)
+        basm = create_model("basm", eleme_dataset.schema, small_model_config)
+        Trainer(config).fit(base, eleme_dataset.train)
+        Trainer(config).fit(basm, eleme_dataset.train)
+
+        generator = LogGenerator(eleme_dataset.world, eleme_dataset.config.log_config())
+        state = ServingState.from_log_generator(generator, eleme_dataset.log)
+        encoder = OnlineRequestEncoder(eleme_dataset.world, eleme_dataset.schema)
+        simulator = ABTestSimulator(
+            eleme_dataset.world, base, basm, encoder, state,
+            ABTestConfig(num_days=1, requests_per_day=30, recall_size=12, exposure_size=5, seed=11),
+        )
+        result = simulator.run()
+        assert result.control.exposures + result.treatment.exposures == 30 * 5
+        assert 0.0 <= result.average_treatment_ctr <= 1.0
+
+    def test_dataloader_feeds_models_consistently(self, eleme_dataset, small_model_config):
+        """Scores are independent of batch size (no cross-sample leakage at inference)."""
+        model = create_model("din", eleme_dataset.schema, small_model_config)
+        small_batches = predict_dataset(model, eleme_dataset.test, batch_size=128)
+        large_batches = predict_dataset(model, eleme_dataset.test, batch_size=2048)
+        assert np.allclose(small_batches, large_batches, atol=1e-5)

@@ -1,0 +1,138 @@
+"""Tests for the trainer, evaluator, profiler and experiment drivers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import ModelConfig, create_model
+from repro.training import (
+    TrainConfig,
+    Trainer,
+    evaluate_model,
+    format_table,
+    predict_dataset,
+    profile_model,
+    run_basm_ablation,
+    run_comparison,
+)
+
+
+class TestTrainConfig:
+    def test_defaults_follow_paper_recipe(self):
+        config = TrainConfig()
+        assert config.optimizer == "adagrad_decay"
+        assert config.use_warmup
+        assert config.batch_size >= 256
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrainConfig(epochs=0)
+        with pytest.raises(ValueError):
+            TrainConfig(batch_size=-1)
+        with pytest.raises(ValueError):
+            TrainConfig(optimizer="lbfgs")
+
+
+class TestTrainer:
+    def test_training_reduces_loss(self, eleme_dataset, small_model_config):
+        model = create_model("wide_deep", eleme_dataset.schema, small_model_config)
+        config = TrainConfig(epochs=2, batch_size=256, warmup_steps=10, seed=0)
+        result = Trainer(config).fit(model, eleme_dataset.train)
+        assert len(result.epoch_losses) == 2
+        assert result.epoch_losses[-1] < result.epoch_losses[0]
+        assert result.steps == len(result.step_losses)
+        assert result.train_seconds > 0
+
+    def test_callback_and_eval_reports(self, eleme_dataset, small_model_config):
+        model = create_model("wide_deep", eleme_dataset.schema, small_model_config)
+        seen = []
+        config = TrainConfig(epochs=1, batch_size=512, warmup_steps=5, eval_every_epoch=True)
+        result = Trainer(config).fit(
+            model, eleme_dataset.train, eval_data=eleme_dataset.test,
+            callback=lambda step, loss: seen.append((step, loss)),
+        )
+        assert len(seen) == result.steps
+        assert len(result.eval_reports) == 1
+
+    @pytest.mark.parametrize("optimizer", ["adagrad_decay", "adagrad", "adam", "sgd"])
+    def test_all_optimizers_supported(self, optimizer, eleme_dataset, small_model_config):
+        model = create_model("wide_deep", eleme_dataset.schema, small_model_config)
+        config = TrainConfig(epochs=1, batch_size=1024, optimizer=optimizer,
+                             learning_rate=0.01, use_warmup=False)
+        result = Trainer(config).fit(model, eleme_dataset.train)
+        assert np.isfinite(result.final_loss)
+
+    def test_trained_model_beats_random_ranking(self, eleme_dataset, small_model_config):
+        model = create_model("wide_deep", eleme_dataset.schema, small_model_config)
+        config = TrainConfig(epochs=3, batch_size=256, warmup_steps=20, seed=1)
+        Trainer(config).fit(model, eleme_dataset.train)
+        report = evaluate_model(model, eleme_dataset.test)
+        assert report.auc > 0.55
+
+
+class TestEvaluator:
+    def test_predict_dataset_covers_every_impression(self, eleme_dataset, small_model_config):
+        model = create_model("wide_deep", eleme_dataset.schema, small_model_config)
+        scores = predict_dataset(model, eleme_dataset.test, batch_size=300)
+        assert scores.shape == (len(eleme_dataset.test),)
+        assert np.all((scores > 0) & (scores < 1))
+
+    def test_evaluate_model_report_is_finite(self, eleme_dataset, small_model_config):
+        model = create_model("din", eleme_dataset.schema, small_model_config)
+        report = evaluate_model(model, eleme_dataset.test)
+        for value in report.as_dict().values():
+            assert np.isfinite(value)
+
+
+class TestProfilerAndExperiments:
+    def test_profile_model_reports_positive_numbers(self, eleme_dataset, small_model_config):
+        model = create_model("wide_deep", eleme_dataset.schema, small_model_config)
+        report = profile_model(
+            model, eleme_dataset.train,
+            config=TrainConfig(epochs=1, batch_size=512, warmup_steps=5),
+            max_batches=2,
+        )
+        assert report.seconds_per_epoch > 0
+        assert report.parameter_count == model.num_parameters()
+        assert report.estimated_total_mb > report.parameter_mb
+        row = report.as_row()
+        assert row["Methods"] == "wide_deep"
+
+    def test_run_comparison_returns_row_per_model(self, eleme_dataset, small_model_config):
+        results = run_comparison(
+            eleme_dataset.train,
+            eleme_dataset.test,
+            model_names=["wide_deep", "basm"],
+            model_config=small_model_config,
+            train_config=TrainConfig(epochs=1, batch_size=512, warmup_steps=5),
+        )
+        assert [result.model_name for result in results] == ["wide_deep", "basm"]
+        for result in results:
+            assert np.isfinite(result.report.auc)
+
+    def test_run_basm_ablation_labels(self, eleme_dataset, small_model_config):
+        results = run_basm_ablation(
+            eleme_dataset.train,
+            eleme_dataset.test,
+            model_config=small_model_config,
+            train_config=TrainConfig(epochs=1, batch_size=1024, warmup_steps=5),
+        )
+        labels = [result.model_name for result in results]
+        assert labels == ["w/o StAEL", "w/o StSTL", "w/o StABT", "BASM"]
+
+    def test_format_table_renders_all_rows(self, eleme_dataset, small_model_config):
+        results = run_comparison(
+            eleme_dataset.train,
+            eleme_dataset.test,
+            model_names=["wide_deep"],
+            model_config=small_model_config,
+            train_config=TrainConfig(epochs=1, batch_size=1024, warmup_steps=5),
+        )
+        table = format_table(results, title="Table IV")
+        assert "Table IV" in table
+        assert "wide_deep" in table
+        assert "AUC" in table
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no results)"
