@@ -1,0 +1,6 @@
+"""Benchmark harness regenerating the paper's tables and figures.
+
+Making this directory a package lets pytest import the benchmark modules
+(and their ``from .conftest import ...`` helpers) from the repository root
+without any ``PYTHONPATH`` gymnastics.
+"""

@@ -317,9 +317,19 @@ class SyntheticWorld:
         weights = weights / weights.sum()
         return rng.choice(pool, size=size, replace=False, p=weights)
 
+    def distances_to_locations(self, item_indices: np.ndarray,
+                               locations: np.ndarray) -> np.ndarray:
+        """Euclidean (degree-space) distance from each item to its location.
+
+        ``locations`` is ``(2,)`` (one point for all items) or ``(n, 2)``
+        (one point per item) — the single definition of the distance metric
+        shared by the offline encoders and the batched online encoder.
+        """
+        delta = self.item_location[np.asarray(item_indices)] - np.asarray(locations)
+        return np.sqrt((delta ** 2).sum(axis=-1))
+
     def distance_to_request(self, item_indices: np.ndarray, context: RequestContext) -> np.ndarray:
         """Euclidean (degree-space) distance from candidates to the request point."""
-        delta = self.item_location[np.asarray(item_indices)] - np.array(
-            [context.latitude, context.longitude]
+        return self.distances_to_locations(
+            item_indices, np.array([context.latitude, context.longitude])
         )
-        return np.sqrt((delta ** 2).sum(axis=1))

@@ -22,7 +22,40 @@ from .. import nn
 from ..features.schema import FeatureSchema, FieldName
 from ..nn import Tensor
 
-__all__ = ["ModelConfig", "FieldEmbedder", "BaseCTRModel"]
+__all__ = ["ModelConfig", "FieldEmbedder", "BaseCTRModel",
+           "batch_num_rows", "slice_batch"]
+
+
+def batch_num_rows(batch: Dict[str, np.ndarray]) -> int:
+    """Number of rows (impressions) in a model batch dictionary."""
+    return int(len(batch["labels"]))
+
+
+_UNIQUE_KEYS = ("behavior_unique", "behavior_mask_unique", "behavior_st_mask_unique")
+
+
+def slice_batch(batch: Dict[str, np.ndarray], start: int, stop: int) -> Dict[str, np.ndarray]:
+    """Row-slice every array of a model batch dictionary (views, no copies).
+
+    Deduplicated behaviour arrays (``behavior_unique`` + ``behavior_row_map``)
+    are not row-aligned; the slice keeps only the unique sequences its rows
+    reference and re-bases the row map onto them.
+    """
+    sliced: Dict[str, np.ndarray] = {}
+    for key, value in batch.items():
+        if key == "fields":
+            sliced[key] = {name: ids[start:stop] for name, ids in value.items()}
+        elif key == "behavior_row_map":
+            referenced, rebased = np.unique(value[start:stop], return_inverse=True)
+            sliced[key] = rebased.astype(np.int64)
+            for unique_key in _UNIQUE_KEYS:
+                if unique_key in batch:
+                    sliced[unique_key] = batch[unique_key][referenced]
+        elif key in _UNIQUE_KEYS:
+            continue  # handled alongside behavior_row_map
+        else:
+            sliced[key] = value[start:stop]
+    return sliced
 
 
 @dataclass
@@ -96,15 +129,42 @@ class FieldEmbedder(nn.Module):
         return embedded.reshape(batch, length, count * self.config.embedding_dim)
 
     def pool_behavior(self, batch: Dict[str, np.ndarray], target_field: Tensor) -> Tensor:
-        """Multi-head target attention pooling of the behaviour sequence."""
+        """Multi-head target attention pooling of the behaviour sequence.
+
+        Serving batches built by ``OnlineRequestEncoder.encode_many`` carry a
+        deduplicated ``behavior_unique`` array plus a ``behavior_row_map``
+        (row -> unique sequence); the expensive sequence embedding and
+        key/value projections then run once per request instead of once per
+        candidate row.
+        """
+        row_map = batch.get("behavior_row_map")
+        if row_map is not None:
+            sequence = self.embed_sequence(batch["behavior_unique"])
+            projected_sequence = self.sequence_proj(sequence)
+            query = self.target_proj(target_field)
+            return self.target_attention(
+                query, projected_sequence,
+                mask=batch["behavior_mask_unique"], row_map=row_map,
+            )
         sequence = self.embed_sequence(batch["behavior"])
         projected_sequence = self.sequence_proj(sequence)
         query = self.target_proj(target_field)
         return self.target_attention(query, projected_sequence, mask=batch["behavior_mask"])
 
+    def pool_behavior_mean_unique(self, batch: Dict[str, np.ndarray],
+                                  mask_key: str = "behavior_mask") -> Tensor:
+        """Masked mean pooling over the deduplicated sequences, one row per request."""
+        sequence = self.embed_sequence(batch["behavior_unique"])
+        projected = self.sequence_proj(sequence)
+        return nn.functional.masked_mean(projected, batch[mask_key + "_unique"], axis=1)
+
     def pool_behavior_mean(self, batch: Dict[str, np.ndarray],
                            mask_key: str = "behavior_mask") -> Tensor:
         """Masked mean pooling in the attention space (used by StSTL's filter)."""
+        row_map = batch.get("behavior_row_map")
+        if row_map is not None:
+            pooled = self.pool_behavior_mean_unique(batch, mask_key=mask_key)
+            return pooled[np.asarray(row_map, dtype=np.int64)]
         sequence = self.embed_sequence(batch["behavior"])
         projected = self.sequence_proj(sequence)
         return nn.functional.masked_mean(projected, batch[mask_key], axis=1)
@@ -138,16 +198,33 @@ class BaseCTRModel(nn.Module):
         """Return the predicted click probability, shape ``(batch,)``."""
         raise NotImplementedError
 
-    def predict(self, batch: Dict[str, np.ndarray]) -> np.ndarray:
-        """Inference without building a gradient graph."""
+    def predict(self, batch: Dict[str, np.ndarray],
+                micro_batch_size: Optional[int] = None) -> np.ndarray:
+        """Inference without building a gradient graph.
+
+        ``micro_batch_size`` optionally chunks the flat batch along the row
+        axis so arbitrarily large serving bursts run in bounded memory; every
+        row-wise layer (and eval-mode batch norm, which uses running
+        statistics) is independent across rows, so chunked and whole-batch
+        predictions are identical.
+        """
         was_training = self.training
         self.eval()
         try:
             with nn.no_grad():
-                probabilities = self.forward(batch)
+                if micro_batch_size is None:
+                    return self.forward(batch).data.reshape(-1)
+                if micro_batch_size <= 0:
+                    raise ValueError("micro_batch_size must be positive")
+                total = batch_num_rows(batch)
+                pieces = [
+                    self.forward(slice_batch(batch, start, min(start + micro_batch_size, total)))
+                    .data.reshape(-1)
+                    for start in range(0, total, micro_batch_size)
+                ]
+                return np.concatenate(pieces) if pieces else np.zeros(0, dtype=np.float32)
         finally:
             self.train(was_training)
-        return probabilities.data.reshape(-1)
 
     # ------------------------------------------------------------------ #
     def concat_fields(self, fields: Dict[str, Tensor]) -> Tensor:

@@ -111,19 +111,46 @@ class BASM(BaseCTRModel):
         self.last_alphas = {name: np.array(alpha.data).reshape(-1) for name, alpha in alphas.items()}
         return scaled
 
-    def _semantic(self, batch: Dict[str, np.ndarray], fields: Dict[str, Tensor]) -> Tensor:
+    def _request_dedup(self, batch: Dict[str, np.ndarray], fields: Dict[str, Tensor]):
+        """``(row_map, per-request context)`` for serving batches, else ``(None, None)``.
+
+        Serving batches from ``OnlineRequestEncoder.encode_many`` mark which
+        rows belong to the same request; the context field (and everything
+        generated from it) is identical across a request's candidate rows, so
+        the context-conditioned meta networks can run once per request.
+        """
+        row_map = batch.get("behavior_row_map")
+        if row_map is None:
+            return None, None
+        row_map = np.asarray(row_map, dtype=np.int64)
+        first_rows = np.unique(row_map, return_index=True)[1]
+        return row_map, fields[FieldName.CONTEXT][first_rows]
+
+    def _semantic(
+        self,
+        batch: Dict[str, np.ndarray],
+        fields: Dict[str, Tensor],
+        row_map: Optional[np.ndarray] = None,
+        context_unique: Optional[Tensor] = None,
+    ) -> Tensor:
         raw_semantic = self.concat_fields(fields)
         if not self.use_ststl:
             return raw_semantic
-        context = fields[FieldName.CONTEXT]
         mask_key = "behavior_st_mask" if self.use_st_filtered_behavior else "behavior_mask"
+        if row_map is not None:
+            filtered = self.embedder.pool_behavior_mean_unique(batch, mask_key=mask_key)
+            return self.ststl(raw_semantic, context_unique, filtered, row_map=row_map)
+        context = fields[FieldName.CONTEXT]
         filtered = self.embedder.pool_behavior_mean(batch, mask_key=mask_key)
         return self.ststl(raw_semantic, context, filtered)
 
     def forward(self, batch: Dict[str, np.ndarray]) -> Tensor:
         fields = self._field_representations(batch)
-        semantic = self._semantic(batch, fields)
+        row_map, context_unique = self._request_dedup(batch, fields)
+        semantic = self._semantic(batch, fields, row_map=row_map, context_unique=context_unique)
         if self.use_stabt:
+            if row_map is not None:
+                return self.tower(semantic, context_unique, row_map=row_map)
             return self.tower(semantic, fields[FieldName.CONTEXT])
         return self.static_tower(semantic).sigmoid().reshape(-1)
 

@@ -51,19 +51,31 @@ class FusionLayer(nn.Module):
         self.bn_gamma_bias = nn.Linear(context_dim, out_features, rng=rng)
         self.bn_beta_bias = nn.Linear(context_dim, out_features, rng=rng)
 
-    def forward(self, x: Tensor, context: Tensor) -> Tensor:
+    def forward(self, x: Tensor, context: Tensor,
+                row_map: Optional[np.ndarray] = None) -> Tensor:
+        """Apply the fusion block.
+
+        With ``row_map``, ``context`` is deduplicated (one row per request)
+        and every FCN_bias head — whose output depends only on the
+        spatiotemporal context — runs once per request before its parameters
+        are gathered back per candidate row.
+        """
+
+        def expand(generated: Tensor) -> Tensor:
+            return generated if row_map is None else generated[row_map]
+
         # --- Fusion FC ------------------------------------------------- #
         projected = self.linear(x)
         if self.use_fusion_fc:
-            weight_bias = self.fc_weight_bias(context).sigmoid() * 2.0
-            bias_bias = self.fc_bias_bias(context).sigmoid()
+            weight_bias = expand(self.fc_weight_bias(context).sigmoid() * 2.0)
+            bias_bias = expand(self.fc_bias_bias(context).sigmoid())
             projected = projected * weight_bias + bias_bias
         # --- Fusion BN ------------------------------------------------- #
         normalised = self.norm.normalise(projected)
         gamma, beta = self.norm.gamma, self.norm.beta
         if self.use_fusion_bn:
-            gamma_bias = self.bn_gamma_bias(context).sigmoid() * 2.0
-            beta_bias = self.bn_beta_bias(context).sigmoid()
+            gamma_bias = expand(self.bn_gamma_bias(context).sigmoid() * 2.0)
+            beta_bias = expand(self.bn_beta_bias(context).sigmoid())
             output = normalised * gamma * gamma_bias + beta + beta_bias
         else:
             output = normalised * gamma + beta
@@ -103,13 +115,15 @@ class SpatiotemporalAdaptiveBiasTower(nn.Module):
         self.output = nn.Linear(previous, 1, rng=rng)
         self.out_features = previous
 
-    def hidden_representation(self, x: Tensor, context: Tensor) -> Tensor:
+    def hidden_representation(self, x: Tensor, context: Tensor,
+                              row_map: Optional[np.ndarray] = None) -> Tensor:
         """The representation before the final logit (used for Fig. 10/11 t-SNE)."""
         hidden = x
         for layer in self.layers:
-            hidden = layer(hidden, context)
+            hidden = layer(hidden, context, row_map=row_map)
         return hidden
 
-    def forward(self, x: Tensor, context: Tensor) -> Tensor:
-        hidden = self.hidden_representation(x, context)
+    def forward(self, x: Tensor, context: Tensor,
+                row_map: Optional[np.ndarray] = None) -> Tensor:
+        hidden = self.hidden_representation(x, context, row_map=row_map)
         return self.output(hidden).sigmoid().reshape(-1)

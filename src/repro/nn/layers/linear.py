@@ -44,7 +44,20 @@ class Linear(Module):
             raise ValueError(
                 f"Linear expected last dim {self.in_features}, got input shape {x.shape}"
             )
-        out = x @ self.weight.transpose()
+        if self.out_features == 1:
+            # BLAS routes (M, K) @ (K, 1) through gemv kernels whose rounding
+            # depends on M, which would make scores drift with micro-batch
+            # composition; multiply + pairwise-sum only depends on K.
+            out = (x * self.weight.reshape(-1)).sum(axis=-1, keepdims=True)
+        elif x.ndim == 2 and x.shape[0] == 1:
+            # (1, K) @ (K, N) also hits an M-dependent gemv kernel; lift to
+            # M=2 (gemm rows are batch-size-invariant for M >= 2) and keep
+            # the first row so a single-row batch scores identically to the
+            # same row inside a large micro-batch.
+            doubled = Tensor.concat([x, x], axis=0)
+            out = (doubled @ self.weight.transpose().contiguous())[0:1]
+        else:
+            out = x @ self.weight.transpose().contiguous()
         if self.bias is not None:
             out = out + self.bias
         return out

@@ -411,6 +411,22 @@ class Tensor:
 
         return self._make(np.squeeze(self.data, axis=axis), (self,), backward)
 
+    def contiguous(self) -> "Tensor":
+        """Return a C-contiguous tensor (self if already contiguous).
+
+        BLAS picks different (batch-size-dependent) kernels for transposed
+        operands, which breaks bit-parity between micro-batched and
+        per-request inference; feeding matmuls contiguous operands keeps
+        per-row results independent of the batch composition.
+        """
+        if self.data.flags["C_CONTIGUOUS"]:
+            return self
+
+        def backward(out: Tensor) -> None:
+            self._accumulate(out.grad)
+
+        return self._make(np.ascontiguousarray(self.data), (self,), backward)
+
     def __getitem__(self, index) -> "Tensor":
         def backward(out: Tensor) -> None:
             grad = np.zeros_like(self.data)

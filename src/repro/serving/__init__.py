@@ -1,21 +1,30 @@
-"""Online serving simulation: recall, ranking, A/B testing."""
+"""Online serving simulation: recall, ranking, micro-batching, A/B testing."""
 
 from .ab_test import ABTestConfig, ABTestResult, ABTestSimulator
+from .batching import BatchScorer, RankedRequest, ScoreRequest
 from .encoder import OnlineRequestEncoder
+from .loadgen import LoadTestReport, generate_burst, run_load_test
 from .platform import PersonalizationPlatform, ServedImpression
 from .ranker import Ranker
 from .recall import LocationBasedRecall
-from .state import ServingState, UserHistoryState
+from .state import FeatureCache, ServingState, UserHistoryState
 
 __all__ = [
     "ABTestConfig",
     "ABTestResult",
     "ABTestSimulator",
+    "BatchScorer",
+    "RankedRequest",
+    "ScoreRequest",
     "OnlineRequestEncoder",
+    "LoadTestReport",
+    "generate_burst",
+    "run_load_test",
     "PersonalizationPlatform",
     "ServedImpression",
     "Ranker",
     "LocationBasedRecall",
+    "FeatureCache",
     "ServingState",
     "UserHistoryState",
 ]

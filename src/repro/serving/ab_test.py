@@ -20,6 +20,7 @@ from ..data.world import SyntheticWorld
 from ..features.time_features import TimePeriod
 from ..metrics.ctr import CTRCounter, relative_improvement
 from ..models.base import BaseCTRModel
+from .batching import ScoreRequest
 from .encoder import OnlineRequestEncoder
 from .ranker import Ranker
 from .recall import LocationBasedRecall
@@ -39,6 +40,11 @@ class ABTestConfig:
     treatment_share: float = 0.5
     order_probability: float = 0.3
     seed: int = 97
+    #: Requests scored together per bucket.  1 reproduces the original
+    #: strictly-sequential loop; larger values treat each window of requests
+    #: as concurrent (scored against the state snapshot at window start, with
+    #: feedback applied afterwards) and run one forward pass per micro-batch.
+    micro_batch_size: int = 1
 
 
 @dataclass
@@ -172,45 +178,81 @@ class ABTestSimulator:
         control_by_city = CTRCounter()
         treatment_by_city = CTRCounter()
 
+        def account(bucket, context, exposed, day_control, day_treatment):
+            """Draw ground-truth clicks for one exposure and book every counter."""
+            display_positions = np.arange(len(exposed))
+            probabilities = self.world.click_probabilities(
+                context.user_index,
+                exposed,
+                context.hour,
+                context.city,
+                (context.latitude, context.longitude),
+                positions=display_positions,
+                rng=self.rng,
+            )
+            clicks = (self.rng.random(len(exposed)) < probabilities).astype(np.float32)
+            exposures = int(len(exposed))
+            click_count = int(clicks.sum())
+
+            if bucket == "treatment":
+                day_treatment.update(exposures, click_count)
+                treatment_total.update(exposures, click_count)
+                treatment_by_period.update(exposures, click_count, group=context.time_period)
+                treatment_by_city.update(exposures, click_count, group=context.city)
+            else:
+                day_control.update(exposures, click_count)
+                control_total.update(exposures, click_count)
+                control_by_period.update(exposures, click_count, group=context.time_period)
+                control_by_city.update(exposures, click_count, group=context.city)
+
+            self.state.record_clicks(
+                context, exposed, clicks,
+                order_probability=cfg.order_probability, rng=self.rng,
+            )
+
         for day_offset in range(cfg.num_days):
             day = start_day + day_offset
             day_control = CTRCounter()
             day_treatment = CTRCounter()
-            for _ in range(cfg.requests_per_day):
-                context = self.world.sample_request_context(day, self.rng)
-                bucket = self._bucket_of(context.user_index)
-                ranker = self.treatment_ranker if bucket == "treatment" else self.control_ranker
-                candidates = self.recall.recall(context)
-                exposed, _ = ranker.rank(context, candidates, self.state, cfg.exposure_size)
-                display_positions = np.arange(len(exposed))
-                probabilities = self.world.click_probabilities(
-                    context.user_index,
-                    exposed,
-                    context.hour,
-                    context.city,
-                    (context.latitude, context.longitude),
-                    positions=display_positions,
-                    rng=self.rng,
-                )
-                clicks = (self.rng.random(len(exposed)) < probabilities).astype(np.float32)
-                exposures = int(len(exposed))
-                click_count = int(clicks.sum())
-
-                if bucket == "treatment":
-                    day_treatment.update(exposures, click_count)
-                    treatment_total.update(exposures, click_count)
-                    treatment_by_period.update(exposures, click_count, group=context.time_period)
-                    treatment_by_city.update(exposures, click_count, group=context.city)
-                else:
-                    day_control.update(exposures, click_count)
-                    control_total.update(exposures, click_count)
-                    control_by_period.update(exposures, click_count, group=context.time_period)
-                    control_by_city.update(exposures, click_count, group=context.city)
-
-                self.state.record_clicks(
-                    context, exposed, clicks,
-                    order_probability=cfg.order_probability, rng=self.rng,
-                )
+            if cfg.micro_batch_size <= 1:
+                # Strictly sequential: each request sees all earlier feedback.
+                for _ in range(cfg.requests_per_day):
+                    context = self.world.sample_request_context(day, self.rng)
+                    bucket = self._bucket_of(context.user_index)
+                    ranker = self.treatment_ranker if bucket == "treatment" else self.control_ranker
+                    candidates = self.recall.recall(context)
+                    exposed, _ = ranker.rank(context, candidates, self.state, cfg.exposure_size)
+                    account(bucket, context, exposed, day_control, day_treatment)
+            else:
+                # High-throughput mode: requests inside one window are
+                # concurrent — ranked together off the same state snapshot,
+                # with clicks fed back once the window is served.
+                remaining = cfg.requests_per_day
+                while remaining > 0:
+                    window = min(cfg.micro_batch_size, remaining)
+                    remaining -= window
+                    contexts = [
+                        self.world.sample_request_context(day, self.rng)
+                        for _ in range(window)
+                    ]
+                    buckets = [self._bucket_of(context.user_index) for context in contexts]
+                    requests = [
+                        ScoreRequest(context, self.recall.recall(context))
+                        for context in contexts
+                    ]
+                    ranked: dict = {}
+                    for name, ranker in (("control", self.control_ranker),
+                                         ("treatment", self.treatment_ranker)):
+                        member_ids = [i for i, bucket in enumerate(buckets) if bucket == name]
+                        if not member_ids:
+                            continue
+                        results = ranker.rank_many(
+                            [requests[i] for i in member_ids], self.state, cfg.exposure_size
+                        )
+                        ranked.update(zip(member_ids, results))
+                    for index in range(window):
+                        account(buckets[index], contexts[index], ranked[index].items,
+                                day_control, day_treatment)
 
             daily.append(
                 {

@@ -1,0 +1,151 @@
+"""Micro-batched scoring engine for high-throughput serving.
+
+The per-request loop in :class:`repro.serving.platform.PersonalizationPlatform`
+pays the full Python + small-matrix overhead of one forward pass per request.
+Under heavy traffic the RTP tier instead collects the requests that arrive
+within a scheduling window and scores them together: every candidate of every
+request becomes one row of a single flat batch, and one ``no_grad`` forward
+pass serves the whole micro-batch.  Because all row-wise layers (embedding
+gather, linear, target attention, eval-mode batch norm) are independent across
+rows, batched scores are numerically identical to sequential ones — a parity
+test pins this down to 1e-8.
+
+:class:`BatchScorer` is the engine: it packs :class:`ScoreRequest` objects
+into micro-batches bounded by ``max_batch_rows`` candidate rows, runs the
+model once per micro-batch, and splits the scores back per request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .. import nn
+from ..data.world import RequestContext
+from ..models.base import BaseCTRModel
+from .encoder import OnlineRequestEncoder
+from .state import ServingState
+
+__all__ = ["ScoreRequest", "RankedRequest", "BatchScorer"]
+
+
+@dataclass
+class ScoreRequest:
+    """One pending scoring job: a request context plus its recalled candidates."""
+
+    context: RequestContext
+    candidates: np.ndarray
+    positions: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        self.candidates = np.asarray(self.candidates, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return int(len(self.candidates))
+
+
+@dataclass
+class RankedRequest:
+    """Result of ranking one request: items in display order with their scores."""
+
+    context: RequestContext
+    items: np.ndarray
+    scores: np.ndarray
+
+    def __len__(self) -> int:
+        return int(len(self.items))
+
+
+class BatchScorer:
+    """Scores many concurrent requests with one forward pass per micro-batch."""
+
+    def __init__(
+        self,
+        model: BaseCTRModel,
+        encoder: OnlineRequestEncoder,
+        max_batch_rows: int = 2048,
+    ) -> None:
+        if max_batch_rows <= 0:
+            raise ValueError("max_batch_rows must be positive")
+        self.model = model
+        self.encoder = encoder
+        self.max_batch_rows = max_batch_rows
+        self.batches_run = 0
+        self.rows_scored = 0
+
+    # ------------------------------------------------------------------ #
+    def _micro_batches(self, requests: Sequence[ScoreRequest]) -> List[List[int]]:
+        """Greedily pack request indices so each batch stays under the row cap.
+
+        A single oversized request still forms its own batch — it cannot be
+        split without breaking per-request top-k semantics.
+        """
+        groups: List[List[int]] = []
+        current: List[int] = []
+        rows = 0
+        for index, request in enumerate(requests):
+            size = max(len(request), 1)
+            if current and rows + size > self.max_batch_rows:
+                groups.append(current)
+                current = []
+                rows = 0
+            current.append(index)
+            rows += size
+        if current:
+            groups.append(current)
+        return groups
+
+    def score_many(
+        self, requests: Sequence[ScoreRequest], state: ServingState
+    ) -> List[np.ndarray]:
+        """Predicted click probability arrays, one per request, in input order."""
+        results: List[Optional[np.ndarray]] = [None] * len(requests)
+        for group in self._micro_batches(requests):
+            members = [requests[index] for index in group]
+            non_empty = [index for index, request in zip(group, members) if len(request)]
+            for index, request in zip(group, members):
+                if len(request) == 0:
+                    results[index] = np.zeros(0, dtype=np.float32)
+            if not non_empty:
+                continue
+            with nn.no_grad():
+                batch, offsets = self.encoder.encode_many(
+                    [requests[index].context for index in non_empty],
+                    [requests[index].candidates for index in non_empty],
+                    state,
+                    positions_list=[requests[index].positions for index in non_empty],
+                )
+                scores = self.model.predict(batch)
+            self.batches_run += 1
+            self.rows_scored += int(offsets[-1])
+            for slot, index in enumerate(non_empty):
+                results[index] = scores[offsets[slot]:offsets[slot + 1]]
+        return results  # type: ignore[return-value]
+
+    def rank_many(
+        self,
+        requests: Sequence[ScoreRequest],
+        state: ServingState,
+        top_k: int,
+    ) -> List[RankedRequest]:
+        """Rank every request's candidates and keep its ``top_k`` best.
+
+        ``top_k`` larger than a request's candidate count simply returns all
+        of that request's candidates in score order.
+        """
+        if top_k <= 0:
+            raise ValueError("top_k must be positive")
+        score_lists = self.score_many(requests, state)
+        ranked = []
+        for request, scores in zip(requests, score_lists):
+            order = np.argsort(-scores, kind="stable")[:top_k]
+            ranked.append(
+                RankedRequest(
+                    context=request.context,
+                    items=request.candidates[order],
+                    scores=scores[order],
+                )
+            )
+        return ranked

@@ -1,0 +1,166 @@
+"""Load generator: replay a burst of synthetic-world requests two ways.
+
+This is the serving engine's measuring stick.  It samples a burst of request
+contexts from the synthetic world, recalls candidates once (so both engines
+score the exact same work), then times
+
+* the **per-request loop** — the seed deployment story: every request is
+  encoded on its own (flat per-candidate layout, no cross-request feature
+  cache) and scored with one model forward pass; and
+* the **batched engine** — :class:`repro.serving.batching.BatchScorer`
+  packing the burst into micro-batches with the cached, deduplicated
+  encoding, one forward pass per micro-batch.
+
+Both passes score the exact same recalled candidates from the same immutable
+state, so the per-request score arrays must agree to float precision (the
+parity the benchmark pins to 1e-8).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from ..data.world import SyntheticWorld
+from ..models.base import BaseCTRModel
+from .batching import BatchScorer, ScoreRequest
+from .encoder import OnlineRequestEncoder
+from .recall import LocationBasedRecall
+from .state import ServingState
+
+__all__ = ["LoadTestReport", "generate_burst", "run_load_test"]
+
+
+@dataclass
+class LoadTestReport:
+    """Throughput and parity numbers for one load-test run."""
+
+    num_requests: int
+    total_rows: int
+    sequential_seconds: float
+    batched_seconds: float
+    max_abs_score_diff: float
+    micro_batches_run: int
+    cache_hit_rate: float
+
+    @property
+    def sequential_rps(self) -> float:
+        return self.num_requests / max(self.sequential_seconds, 1e-9)
+
+    @property
+    def batched_rps(self) -> float:
+        return self.num_requests / max(self.batched_seconds, 1e-9)
+
+    @property
+    def speedup(self) -> float:
+        return self.sequential_seconds / max(self.batched_seconds, 1e-9)
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Rows for the benchmark's text table."""
+        return [
+            {
+                "Engine": "per-request loop",
+                "Requests": self.num_requests,
+                "Rows scored": self.total_rows,
+                "Seconds": round(self.sequential_seconds, 3),
+                "Requests/sec": round(self.sequential_rps, 1),
+            },
+            {
+                "Engine": f"batched ({self.micro_batches_run} micro-batches)",
+                "Requests": self.num_requests,
+                "Rows scored": self.total_rows,
+                "Seconds": round(self.batched_seconds, 3),
+                "Requests/sec": round(self.batched_rps, 1),
+            },
+        ]
+
+    def summary(self) -> str:
+        return (
+            f"speedup {self.speedup:.2f}x, "
+            f"score parity max|diff| = {self.max_abs_score_diff:.2e}, "
+            f"feature-cache hit rate {self.cache_hit_rate:.1%}"
+        )
+
+
+def generate_burst(
+    world: SyntheticWorld,
+    num_requests: int,
+    recall_size: int = 30,
+    day: int = 100,
+    seed: int = 11,
+) -> List[ScoreRequest]:
+    """Sample a burst of concurrent requests with their recalled candidates."""
+    rng = np.random.default_rng(seed)
+    recall = LocationBasedRecall(world, pool_size=recall_size, seed=seed + 1)
+    return [
+        ScoreRequest(context, recall.recall(context))
+        for context in (
+            world.sample_request_context(day, rng) for _ in range(num_requests)
+        )
+    ]
+
+
+def run_load_test(
+    world: SyntheticWorld,
+    model: BaseCTRModel,
+    encoder: OnlineRequestEncoder,
+    state: ServingState,
+    num_requests: int = 1000,
+    recall_size: int = 30,
+    max_batch_rows: int = 2048,
+    day: int = 100,
+    seed: int = 11,
+) -> LoadTestReport:
+    """Time the per-request loop against the batched engine on one burst."""
+    requests = generate_burst(world, num_requests, recall_size=recall_size,
+                              day=day, seed=seed)
+    total_rows = int(sum(len(request) for request in requests))
+
+    # Both passes measure from a cold cache; the caller's cache-enabled
+    # setting is restored afterwards (the entries themselves are cheap to
+    # rebuild lazily).
+    was_enabled = state.features.enabled
+    try:
+        # Per-request loop (the seed serving path): every request re-encodes
+        # its own features — flat per-candidate behaviour layout, no
+        # cross-request cache — and runs its own forward pass.
+        state.features.clear()
+        state.features.enabled = False
+        start = time.perf_counter()
+        sequential_scores = []
+        for request in requests:
+            batch = encoder.encode(request.context, request.candidates, state)
+            for dedup_key in ("behavior_unique", "behavior_mask_unique",
+                              "behavior_st_mask_unique", "behavior_row_map"):
+                batch.pop(dedup_key, None)
+            sequential_scores.append(model.predict(batch))
+        sequential_seconds = time.perf_counter() - start
+
+        # Batched engine: cached encoding, one forward per micro-batch.
+        state.features.enabled = True
+        state.features.clear()
+        scorer = BatchScorer(model, encoder, max_batch_rows=max_batch_rows)
+        start = time.perf_counter()
+        batched_scores = scorer.score_many(requests, state)
+        batched_seconds = time.perf_counter() - start
+        hit_rate = state.features.hit_rate
+    finally:
+        state.features.enabled = was_enabled
+
+    max_diff = 0.0
+    for sequential, batched in zip(sequential_scores, batched_scores):
+        if len(sequential):
+            max_diff = max(max_diff, float(np.max(np.abs(sequential - batched))))
+
+    return LoadTestReport(
+        num_requests=num_requests,
+        total_rows=total_rows,
+        sequential_seconds=sequential_seconds,
+        batched_seconds=batched_seconds,
+        max_abs_score_diff=max_diff,
+        micro_batches_run=scorer.batches_run,
+        cache_hit_rate=hit_rate,
+    )

@@ -16,6 +16,7 @@ import numpy as np
 
 from ..data.world import RequestContext, SyntheticWorld
 from ..models.base import BaseCTRModel
+from .batching import ScoreRequest
 from .encoder import OnlineRequestEncoder
 from .ranker import Ranker
 from .recall import LocationBasedRecall
@@ -61,6 +62,20 @@ class PersonalizationPlatform:
         candidates = self.recall.recall(context)
         items, scores = self.ranker.rank(context, candidates, self.state, self.exposure_size)
         return ServedImpression(context=context, items=items, scores=scores)
+
+    def serve_many(self, contexts: List[RequestContext]) -> List[ServedImpression]:
+        """Handle a burst of concurrent requests through the batched engine.
+
+        Recall still runs per request (it is cheap and stateful through its
+        own rng), but ranking packs all requests into micro-batches so the
+        model runs one forward pass per batch instead of one per request.
+        """
+        requests = [ScoreRequest(context, self.recall.recall(context)) for context in contexts]
+        ranked = self.ranker.rank_many(requests, self.state, self.exposure_size)
+        return [
+            ServedImpression(context=result.context, items=result.items, scores=result.scores)
+            for result in ranked
+        ]
 
     def feedback(self, impression: ServedImpression, clicks: np.ndarray,
                  rng: Optional[np.random.Generator] = None) -> None:

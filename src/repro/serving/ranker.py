@@ -1,13 +1,19 @@
-"""Real-Time Prediction (RTP) analog: score candidates and pick the top-k."""
+"""Real-Time Prediction (RTP) analog: score candidates and pick the top-k.
+
+Single-request ``score``/``rank`` go through the same micro-batching engine
+as the high-throughput path (a batch of one), so the sequential and batched
+code paths cannot drift apart numerically.
+"""
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
 from ..data.world import RequestContext
 from ..models.base import BaseCTRModel
+from .batching import BatchScorer, RankedRequest, ScoreRequest
 from .encoder import OnlineRequestEncoder
 from .state import ServingState
 
@@ -17,15 +23,16 @@ __all__ = ["Ranker"]
 class Ranker:
     """Scores recalled candidates with a trained CTR model and ranks them."""
 
-    def __init__(self, model: BaseCTRModel, encoder: OnlineRequestEncoder) -> None:
+    def __init__(self, model: BaseCTRModel, encoder: OnlineRequestEncoder,
+                 max_batch_rows: int = 2048) -> None:
         self.model = model
         self.encoder = encoder
+        self.scorer = BatchScorer(model, encoder, max_batch_rows=max_batch_rows)
 
     def score(self, context: RequestContext, candidates: np.ndarray,
               state: ServingState) -> np.ndarray:
         """Predicted click probability for every candidate."""
-        batch = self.encoder.encode(context, candidates, state)
-        return self.model.predict(batch)
+        return self.scorer.score_many([ScoreRequest(context, candidates)], state)[0]
 
     def rank(
         self,
@@ -35,9 +42,18 @@ class Ranker:
         top_k: int,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Return (top-k item indices in display order, their scores)."""
-        if top_k <= 0:
-            raise ValueError("top_k must be positive")
-        candidates = np.asarray(candidates, dtype=np.int64)
-        scores = self.score(context, candidates, state)
-        order = np.argsort(-scores, kind="stable")[:top_k]
-        return candidates[order], scores[order]
+        ranked = self.rank_many([ScoreRequest(context, candidates)], state, top_k)[0]
+        return ranked.items, ranked.scores
+
+    # ------------------------------------------------------------------ #
+    # batched entry points (the high-throughput path)
+    # ------------------------------------------------------------------ #
+    def score_many(self, requests: Sequence[ScoreRequest],
+                   state: ServingState) -> List[np.ndarray]:
+        """Score many concurrent requests with micro-batched forward passes."""
+        return self.scorer.score_many(requests, state)
+
+    def rank_many(self, requests: Sequence[ScoreRequest], state: ServingState,
+                  top_k: int) -> List[RankedRequest]:
+        """Rank many concurrent requests with micro-batched forward passes."""
+        return self.scorer.rank_many(requests, state, top_k)

@@ -1,23 +1,29 @@
-"""Mutable serving-time state: user histories and item statistics.
+"""Mutable serving-time state: user histories, item statistics, feature cache.
 
 Mirrors what Ele.me's Alibaba Basic Feature Server (ABFS) provides at request
 time — the user's profile counters and behaviour sequence — plus the running
 shop-level click statistics used by the candidate-item features.  The state
 can be taken over from an offline :class:`repro.data.LogGenerator` so the
 online experiment continues seamlessly from the end of the training log.
+
+For high-throughput serving the state also hosts a :class:`FeatureCache`: a
+versioned store the online encoder uses to avoid re-encoding user behaviour
+sequences and static user/item feature tables between requests.  Entries are
+keyed by a caller-chosen tuple plus a version number; ``record_clicks`` bumps
+the per-user version so stale behaviour snapshots are never served.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
 
 import numpy as np
 
 from ..data.log import ImpressionLog, LogGenerator
 from ..data.world import RequestContext, SyntheticWorld
 
-__all__ = ["UserHistoryState", "ServingState"]
+__all__ = ["UserHistoryState", "FeatureCache", "ServingState"]
 
 
 @dataclass
@@ -45,6 +51,96 @@ class UserHistoryState:
         self.cities.append(city)
         self.geohash_prefixes.append(geohash_prefix)
 
+    def window_arrays(self, start: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorised view of the history tail from ``start``.
+
+        Returns ``(ids, prefixes)`` where ``ids`` is an ``(n, 6)`` int64 array
+        with columns (item, category, brand, period, hour, city) and
+        ``prefixes`` is the matching array of geohash prefixes.
+        """
+        ids = np.array(
+            [
+                self.items[start:],
+                self.categories[start:],
+                self.brands[start:],
+                self.periods[start:],
+                self.hours[start:],
+                self.cities[start:],
+            ],
+            dtype=np.int64,
+        ).T
+        prefixes = np.asarray(self.geohash_prefixes[start:], dtype=object)
+        return ids, prefixes
+
+
+class FeatureCache:
+    """Versioned feature store shared by the online encoders.
+
+    Each entry is ``key -> (version, value)``.  A lookup with a newer version
+    than the stored one rebuilds the value, so writers only have to bump a
+    version counter (no explicit invalidation fan-out is needed).
+    """
+
+    def __init__(self, enabled: bool = True, max_entries: int = 200_000) -> None:
+        self._store: Dict[Hashable, Tuple[int, Any]] = {}
+        self._pinned: Dict[Hashable, Any] = {}
+        self.enabled = enabled
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store) + len(self._pinned)
+
+    def lookup(self, key: Hashable, version: int, builder: Callable[[], Any],
+               pinned: bool = False) -> Any:
+        """Return the cached value for ``key`` at ``version``, building on miss.
+
+        ``pinned`` entries (static precomputed tables) live outside the
+        eviction budget and stay cached even when the cache is disabled —
+        disabling only turns off the cross-request reuse of mutable per-user
+        features.  Regular entries are bounded by ``max_entries`` with
+        oldest-inserted eviction, so month-long simulations cannot grow the
+        cache without bound.
+        """
+        if pinned:
+            value = self._pinned.get(key)
+            if value is not None:
+                self.hits += 1
+                return value
+            self.misses += 1
+            value = builder()
+            self._pinned[key] = value
+            return value
+        if not self.enabled:
+            self.misses += 1
+            return builder()
+        entry = self._store.get(key)
+        if entry is not None and entry[0] == version:
+            self.hits += 1
+            return entry[1]
+        self.misses += 1
+        value = builder()
+        if key not in self._store and len(self._store) >= self.max_entries:
+            self._store.pop(next(iter(self._store)))
+        self._store[key] = (version, value)
+        return value
+
+    def invalidate(self, key: Hashable) -> None:
+        self._store.pop(key, None)
+        self._pinned.pop(key, None)
+
+    def clear(self) -> None:
+        self._store.clear()
+        self._pinned.clear()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
 
 class ServingState:
     """All per-user and per-item state the online system reads and writes."""
@@ -56,6 +152,10 @@ class ServingState:
         self.user_orders = np.zeros(world.config.num_users, dtype=np.int64)
         self.item_clicks = np.zeros(world.config.num_items, dtype=np.int64)
         self.histories: Dict[int, UserHistoryState] = {}
+        self.features = FeatureCache()
+        # Bumped whenever a user's history or counters change; consumed by the
+        # feature cache so per-user entries expire on write.
+        self.user_version = np.zeros(world.config.num_users, dtype=np.int64)
 
     # ------------------------------------------------------------------ #
     @classmethod
@@ -93,22 +193,14 @@ class ServingState:
         if history is None or len(history) == 0:
             return ids, mask, st_mask
         start = max(0, len(history) - max_length)
+        count = len(history) - start
+        window, prefixes = history.window_arrays(start)
+        ids[:count] = window + 1
+        mask[:count] = 1.0
         prefix = context.geohash[: self.geohash_match_prefix]
-        for row, source in enumerate(range(start, len(history))):
-            ids[row] = (
-                history.items[source] + 1,
-                history.categories[source] + 1,
-                history.brands[source] + 1,
-                history.periods[source] + 1,
-                history.hours[source] + 1,
-                history.cities[source] + 1,
-            )
-            mask[row] = 1.0
-            if (
-                history.periods[source] == context.time_period
-                and history.geohash_prefixes[source] == prefix
-            ):
-                st_mask[row] = 1.0
+        st_mask[:count] = (
+            (window[:, 3] == context.time_period) & (prefixes == prefix)
+        ).astype(np.float32)
         return ids, mask, st_mask
 
     def record_clicks(self, context: RequestContext, items: np.ndarray, clicks: np.ndarray,
@@ -136,3 +228,4 @@ class ServingState:
             self.item_clicks[item] += 1
             if rng.random() < order_probability:
                 self.user_orders[context.user_index] += 1
+        self.user_version[context.user_index] += 1
