@@ -208,6 +208,49 @@ class SyntheticWorld:
         self.hour_request_share = volume / volume.sum()
 
     # ------------------------------------------------------------------ #
+    # distribution drift
+    # ------------------------------------------------------------------ #
+    def drift_preferences(
+        self,
+        magnitude: float = 1.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        """Shift the ground-truth taste structure to simulate concept drift.
+
+        Models the paper's core motivation — OFOS click distributions move
+        over time — without touching any *feature*: entities, vocabularies
+        and encoders stay exactly as trained, only the click model's hidden
+        weights change, so a frozen model keeps producing valid scores that
+        are simply wrong about the new preferences.
+
+        Two effects, both scaled by ``magnitude``:
+
+        * a zero-mean per-category popularity shock applied in every city
+          (a first-order "cuisine X fell out of fashion" drift a refreshed
+          model can relearn from the ``item_category`` feature alone);
+        * the per-time-period category preferences rotate by one period
+          (breakfast tastes become lunch tastes), moving the spatiotemporal
+          interaction the paper's modules specialise in.
+
+        Call between simulated days; offline logs generated before the call
+        follow the old distribution, traffic served after it follows the new.
+        """
+        if magnitude < 0:
+            raise ValueError("magnitude must be non-negative")
+        if magnitude == 0:
+            return
+        rng = rng if rng is not None else self.rng
+        num_categories = self.config.num_categories
+        shock = rng.normal(0.0, 0.9, size=num_categories) * magnitude
+        shock -= shock.mean()
+        self.city_category_pop = self.city_category_pop + shock[None, :]
+        rolled = np.roll(self.period_category_pop, 1, axis=0)
+        self.period_category_pop = (
+            (1.0 - min(magnitude, 1.0)) * self.period_category_pop
+            + min(magnitude, 1.0) * rolled
+        )
+
+    # ------------------------------------------------------------------ #
     # ground-truth click model
     # ------------------------------------------------------------------ #
     def click_logits(

@@ -14,6 +14,8 @@ the (near-zero-initialised) padding rows.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
@@ -149,6 +151,26 @@ class FeatureSchema:
     @property
     def num_fields(self) -> int:
         return len(self.field_names)
+
+    def fingerprint(self) -> str:
+        """Stable digest of the feature layout (names, fields, vocab sizes).
+
+        Two schemas share a fingerprint exactly when they produce the same
+        global-id space in the same order — i.e. when a model trained against
+        one can consume batches encoded with the other.  Checkpoint manifests
+        store it so a reload against an incompatible schema fails loudly
+        instead of silently embedding ids into the wrong table rows.
+        """
+        payload = {
+            "name": self.name,
+            "max_sequence_length": self.max_sequence_length,
+            "features": [(s.name, s.field, s.vocab_size) for s in self.features],
+            "sequence_features": [
+                (s.name, s.field, s.vocab_size) for s in self.sequence_features
+            ],
+        }
+        digest = hashlib.sha256(json.dumps(payload, sort_keys=True).encode("utf-8"))
+        return digest.hexdigest()[:16]
 
     def describe(self) -> Dict[str, List[str]]:
         """A Table I-style summary: field -> list of feature names."""

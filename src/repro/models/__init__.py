@@ -3,6 +3,13 @@
 from .apg import APG, APGLinear
 from .autoint import AutoInt
 from .base import BaseCTRModel, FieldEmbedder, ModelConfig
+from .checkpoint import (
+    CheckpointManifest,
+    load_checkpoint,
+    restore_model,
+    save_checkpoint,
+)
+from .store import ModelStore, ModelVersion
 from .basm import (
     BASM,
     FusionLayer,
@@ -30,6 +37,12 @@ __all__ = [
     "BaseCTRModel",
     "FieldEmbedder",
     "ModelConfig",
+    "CheckpointManifest",
+    "load_checkpoint",
+    "restore_model",
+    "save_checkpoint",
+    "ModelStore",
+    "ModelVersion",
     "BASM",
     "FusionLayer",
     "SpatiotemporalAdaptiveBiasTower",

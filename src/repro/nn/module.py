@@ -120,6 +120,26 @@ class Module:
             if key in state:
                 object.__setattr__(module, attribute, np.asarray(state[key], dtype=np.float32).copy())
 
+    def save_npz(self, path) -> None:
+        """Serialise :meth:`state_dict` to an uncompressed ``.npz`` archive.
+
+        The archive holds one array per parameter/buffer under its dotted
+        state-dict name, so any tool that can read npz can inspect a
+        checkpoint.  ``numpy`` appends ``.npz`` when the path lacks it;
+        callers that need a predictable filename should pass one that
+        already ends in ``.npz``.
+        """
+        state = self.state_dict()
+        if not state:
+            raise ValueError("refusing to save an empty state dict")
+        np.savez(path, **state)
+
+    def load_npz(self, path, strict: bool = True) -> None:
+        """Load parameters/buffers saved by :meth:`save_npz` in place."""
+        with np.load(path) as archive:
+            state = {name: archive[name] for name in archive.files}
+        self.load_state_dict(state, strict=strict)
+
     # ------------------------------------------------------------------ #
     # call protocol
     # ------------------------------------------------------------------ #

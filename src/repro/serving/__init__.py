@@ -1,12 +1,20 @@
-"""Online serving simulation: recall, ranking, micro-batching, A/B testing."""
+"""Online serving simulation: recall, ranking, micro-batching, A/B testing,
+and the replay log feeding the continuous-refresh lifecycle."""
 
 from .ab_test import ABTestConfig, ABTestResult, ABTestSimulator
 from .batching import BatchScorer, RankedRequest, ScoreRequest
 from .encoder import OnlineRequestEncoder
-from .loadgen import LoadTestReport, generate_burst, run_load_test
+from .loadgen import (
+    LoadTestReport,
+    auc_on_slice,
+    generate_burst,
+    run_load_test,
+    sample_labeled_slice,
+)
 from .platform import PersonalizationPlatform, ServedImpression
 from .ranker import Ranker
 from .recall import LocationBasedRecall
+from .replay import LoggedImpression, ReplayBuffer
 from .state import FeatureCache, ServingState, UserHistoryState
 
 __all__ = [
@@ -18,12 +26,16 @@ __all__ = [
     "ScoreRequest",
     "OnlineRequestEncoder",
     "LoadTestReport",
+    "auc_on_slice",
     "generate_burst",
     "run_load_test",
+    "sample_labeled_slice",
     "PersonalizationPlatform",
     "ServedImpression",
     "Ranker",
     "LocationBasedRecall",
+    "LoggedImpression",
+    "ReplayBuffer",
     "FeatureCache",
     "ServingState",
     "UserHistoryState",

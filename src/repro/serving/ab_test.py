@@ -12,7 +12,7 @@ exposure-ratio per time-period and city (Fig. 12).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -22,7 +22,7 @@ from ..metrics.ctr import CTRCounter, relative_improvement
 from ..models.base import BaseCTRModel
 from .batching import ScoreRequest
 from .encoder import OnlineRequestEncoder
-from .ranker import Ranker
+from .ranker import Ranker, hot_swap
 from .recall import LocationBasedRecall
 from .state import ServingState
 
@@ -167,8 +167,34 @@ class ABTestSimulator:
         value = (user_index * 2654435761) % 1000 / 1000.0
         return "treatment" if value < self.config.treatment_share else "control"
 
-    def run(self, start_day: int = 100) -> ABTestResult:
-        """Simulate ``num_days`` days of serving and return the aggregated result."""
+    def promote(self, model: BaseCTRModel, bucket: str = "treatment") -> BaseCTRModel:
+        """Hot-swap one arm's model mid-experiment (the canary deployment).
+
+        The continuous-refresh loop promotes a freshly trained checkpoint
+        into the treatment arm while the control arm keeps the frozen model,
+        turning the A/B split into an old-vs-refreshed canary.  Schema
+        compatibility is fingerprint-checked and volatile feature-cache
+        entries are invalidated (pinned static tables survive), exactly as in
+        :meth:`repro.serving.platform.PersonalizationPlatform.swap_model`.
+        Returns the replaced model.
+        """
+        if bucket not in ("control", "treatment"):
+            raise ValueError(f"unknown bucket {bucket!r}")
+        ranker = self.treatment_ranker if bucket == "treatment" else self.control_ranker
+        return hot_swap(ranker, self.encoder.schema, self.state.features, model)
+
+    def run(
+        self,
+        start_day: int = 100,
+        on_day_end: Optional[Callable[[int, "ABTestSimulator"], None]] = None,
+    ) -> ABTestResult:
+        """Simulate ``num_days`` days of serving and return the aggregated result.
+
+        ``on_day_end`` is invoked after each simulated day with
+        ``(day_number, simulator)`` — the lifecycle hook where a driver can
+        refresh a model on the day's logged feedback and :meth:`promote` it
+        for the next day, as the paper's daily-update deployment does.
+        """
         cfg = self.config
         daily: List[Dict[str, float]] = []
         control_total = CTRCounter()
@@ -262,6 +288,8 @@ class ABTestSimulator:
                     "relative_improvement": relative_improvement(day_treatment.ctr, day_control.ctr),
                 }
             )
+            if on_day_end is not None:
+                on_day_end(day_offset + 1, self)
 
         return ABTestResult(
             daily=daily,

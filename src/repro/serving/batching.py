@@ -1,5 +1,10 @@
 """Micro-batched scoring engine for high-throughput serving.
 
+This is the reproduction's Real-Time Prediction tier (RTP in the paper's
+Fig. 13 deployment diagram), sized for the traffic peaks of Fig. 2a: at
+mealtime bursts the scoring tier cannot afford one model invocation per
+request.
+
 The per-request loop in :class:`repro.serving.platform.PersonalizationPlatform`
 pays the full Python + small-matrix overhead of one forward pass per request.
 Under heavy traffic the RTP tier instead collects the requests that arrive

@@ -1,8 +1,10 @@
 """Load generator: replay a burst of synthetic-world requests two ways.
 
-This is the serving engine's measuring stick.  It samples a burst of request
-contexts from the synthetic world, recalls candidates once (so both engines
-score the exact same work), then times
+This is the measuring stick of the serving engine (the RTP tier of the
+paper's Fig. 13 deployment, whose production traffic peaks motivate both the
+micro-batching here and Table VI's efficiency comparison).  It samples a
+burst of request contexts from the synthetic world, recalls candidates once
+(so both engines score the exact same work), then times
 
 * the **per-request loop** — the seed deployment story: every request is
   encoded on its own (flat per-candidate layout, no cross-request feature
@@ -14,24 +16,37 @@ score the exact same work), then times
 Both passes score the exact same recalled candidates from the same immutable
 state, so the per-request score arrays must agree to float precision (the
 parity the benchmark pins to 1e-8).
+
+The module also provides ground-truth-labelled evaluation slices
+(:func:`sample_labeled_slice` / :func:`auc_on_slice`): fresh traffic whose
+click labels are drawn from the world's click model, used by the lifecycle
+drift benchmark to compare a frozen model against an incrementally refreshed
+one on post-drift traffic.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from ..data.world import SyntheticWorld
+from ..metrics.auc import auc
 from ..models.base import BaseCTRModel
 from .batching import BatchScorer, ScoreRequest
 from .encoder import OnlineRequestEncoder
 from .recall import LocationBasedRecall
 from .state import ServingState
 
-__all__ = ["LoadTestReport", "generate_burst", "run_load_test"]
+__all__ = [
+    "LoadTestReport",
+    "generate_burst",
+    "run_load_test",
+    "sample_labeled_slice",
+    "auc_on_slice",
+]
 
 
 @dataclass
@@ -164,3 +179,52 @@ def run_load_test(
         micro_batches_run=scorer.batches_run,
         cache_hit_rate=hit_rate,
     )
+
+
+# ---------------------------------------------------------------------- #
+# ground-truth-labelled evaluation slices (drift benchmarking)
+# ---------------------------------------------------------------------- #
+def sample_labeled_slice(
+    world: SyntheticWorld,
+    num_requests: int,
+    recall_size: int = 30,
+    day: int = 100,
+    seed: int = 211,
+) -> Tuple[List[ScoreRequest], List[np.ndarray]]:
+    """Sample fresh traffic and draw its click labels from the world.
+
+    The labels come straight from the ground-truth click model *as it stands
+    now* — after a :meth:`SyntheticWorld.drift_preferences` call they follow
+    the drifted distribution — with no position bias applied, so the slice is
+    a counterfactual "what would this user click among the recalled
+    candidates" test set shared by every model under comparison.
+    """
+    rng = np.random.default_rng(seed)
+    requests = generate_burst(world, num_requests, recall_size=recall_size,
+                              day=day, seed=seed + 1)
+    labels: List[np.ndarray] = []
+    for request in requests:
+        context = request.context
+        probabilities = world.click_probabilities(
+            context.user_index,
+            request.candidates,
+            context.hour,
+            context.city,
+            (context.latitude, context.longitude),
+            rng=rng,
+        )
+        labels.append((rng.random(len(request)) < probabilities).astype(np.float32))
+    return requests, labels
+
+
+def auc_on_slice(
+    model: BaseCTRModel,
+    encoder: OnlineRequestEncoder,
+    state: ServingState,
+    requests: Sequence[ScoreRequest],
+    labels: Sequence[np.ndarray],
+) -> float:
+    """AUC of ``model`` on a labelled slice, scored by the batched engine."""
+    scorer = BatchScorer(model, encoder)
+    scores = scorer.score_many(list(requests), state)
+    return auc(np.concatenate(list(labels)), np.concatenate(scores))

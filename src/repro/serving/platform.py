@@ -18,7 +18,7 @@ from ..data.world import RequestContext, SyntheticWorld
 from ..models.base import BaseCTRModel
 from .batching import ScoreRequest
 from .encoder import OnlineRequestEncoder
-from .ranker import Ranker
+from .ranker import Ranker, hot_swap
 from .recall import LocationBasedRecall
 from .state import ServingState
 
@@ -56,6 +56,22 @@ class PersonalizationPlatform:
         self.ranker = Ranker(model, encoder)
         self.recall = LocationBasedRecall(world, pool_size=recall_size, seed=seed)
         self.exposure_size = exposure_size
+
+    def swap_model(self, model: BaseCTRModel) -> BaseCTRModel:
+        """Hot-swap the ranking model without dropping the feature cache.
+
+        The lifecycle promotion path: a refreshed checkpoint (usually loaded
+        from a :class:`repro.models.store.ModelStore`) replaces the serving
+        model between requests.  The new model must speak the same feature
+        schema as the platform's encoder — checked by fingerprint, so an
+        incompatible global-id layout fails here rather than mis-scoring
+        traffic.  Volatile cache entries (behaviour snapshots) are dropped as
+        a conservative promotion policy — see
+        :meth:`repro.serving.state.FeatureCache.invalidate_volatile` — while
+        pinned static id tables survive the swap untouched.  Returns the
+        previous model so callers can roll back.
+        """
+        return hot_swap(self.ranker, self.encoder.schema, self.state.features, model)
 
     def serve(self, context: RequestContext) -> ServedImpression:
         """Handle one request end-to-end and return the exposed items."""

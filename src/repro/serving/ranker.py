@@ -12,12 +12,38 @@ from typing import List, Sequence, Tuple
 import numpy as np
 
 from ..data.world import RequestContext
+from ..features.schema import FeatureSchema
 from ..models.base import BaseCTRModel
 from .batching import BatchScorer, RankedRequest, ScoreRequest
 from .encoder import OnlineRequestEncoder
-from .state import ServingState
+from .state import FeatureCache, ServingState
 
-__all__ = ["Ranker"]
+__all__ = ["Ranker", "hot_swap"]
+
+
+def hot_swap(
+    ranker: "Ranker",
+    serving_schema: FeatureSchema,
+    feature_cache: FeatureCache,
+    model: BaseCTRModel,
+) -> BaseCTRModel:
+    """Fingerprint-checked model promotion shared by the platform and canary.
+
+    The single definition of the hot-swap policy: the incoming model must
+    speak the serving schema (checked by fingerprint, so an incompatible
+    global-id layout fails here rather than mis-scoring traffic), volatile
+    feature-cache entries are dropped, pinned static tables survive.
+    Returns the previous model so callers can roll back.
+    """
+    if model.schema.fingerprint() != serving_schema.fingerprint():
+        raise ValueError(
+            f"cannot hot-swap: model schema {model.schema.name!r} "
+            f"({model.schema.fingerprint()}) does not match serving schema "
+            f"{serving_schema.name!r} ({serving_schema.fingerprint()})"
+        )
+    previous = ranker.swap_model(model)
+    feature_cache.invalidate_volatile()
+    return previous
 
 
 class Ranker:
@@ -28,6 +54,18 @@ class Ranker:
         self.model = model
         self.encoder = encoder
         self.scorer = BatchScorer(model, encoder, max_batch_rows=max_batch_rows)
+
+    def swap_model(self, model: BaseCTRModel) -> BaseCTRModel:
+        """Replace the scoring model in place and return the previous one.
+
+        Both the ranker and its micro-batching scorer point at the new model
+        atomically (single-threaded simulation), so in-flight request lists
+        are either scored entirely by the old model or entirely by the new.
+        """
+        previous = self.model
+        self.model = model
+        self.scorer.model = model
+        return previous
 
     def score(self, context: RequestContext, candidates: np.ndarray,
               state: ServingState) -> np.ndarray:

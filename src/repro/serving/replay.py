@@ -1,0 +1,174 @@
+"""Replay buffer: the logged impressions/clicks that fuel online learning.
+
+The paper's adaptation story (Section V, the continuous-deployment loop of
+Fig. 13) hinges on the serving system feeding its own exposures back into
+training.  :class:`ReplayBuffer` is that log: whenever click feedback reaches
+:meth:`repro.serving.state.ServingState.record_clicks`, the buffer encodes
+the exposed candidates with the same :class:`OnlineRequestEncoder` that
+served them — **before** the feedback mutates the user's history — and stores
+the resulting model batch with the observed clicks as labels.
+
+Capturing features at feedback time (pre-mutation) keeps the replayed batch
+identical to what the ranker scored, so incremental training sees exactly the
+train/serve-consistent distribution, including the position of each exposed
+item.  A bounded window evicts the oldest impressions, mirroring the paper's
+daily-update recipe where each refresh consumes a recent slice of the log.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Deque, Dict, Optional
+
+import numpy as np
+
+from ..data.world import RequestContext
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (state imports replay)
+    from .encoder import OnlineRequestEncoder
+    from .state import ServingState
+
+__all__ = ["LoggedImpression", "ReplayBuffer"]
+
+
+@dataclass
+class LoggedImpression:
+    """One served exposure with its click feedback, encoded at serve state.
+
+    ``fields`` holds the per-candidate flat id arrays; the behaviour arrays
+    are stored once per impression (shape ``(1, L, k)``) and expanded back to
+    one row per candidate when a training batch is assembled.
+    """
+
+    fields: Dict[str, np.ndarray]
+    behavior: np.ndarray
+    behavior_mask: np.ndarray
+    behavior_st_mask: np.ndarray
+    labels: np.ndarray
+    time_period: np.ndarray
+    city: np.ndarray
+    hour: np.ndarray
+    position: np.ndarray
+    day: int
+
+    def __len__(self) -> int:
+        return int(len(self.labels))
+
+
+class ReplayBuffer:
+    """Bounded log of encoded exposures consumed by the incremental trainer."""
+
+    def __init__(self, encoder: "OnlineRequestEncoder", max_impressions: int = 5000) -> None:
+        if max_impressions <= 0:
+            raise ValueError("max_impressions must be positive")
+        self.encoder = encoder
+        self.max_impressions = max_impressions
+        self._impressions: Deque[LoggedImpression] = deque(maxlen=max_impressions)
+        #: Totals over the buffer's lifetime (evicted impressions included).
+        self.impressions_logged = 0
+        self.rows_logged = 0
+        self.clicks_logged = 0
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._impressions)
+
+    @property
+    def num_rows(self) -> int:
+        """Candidate rows currently held in the window."""
+        return int(sum(len(impression) for impression in self._impressions))
+
+    def clear(self) -> None:
+        self._impressions.clear()
+
+    # ------------------------------------------------------------------ #
+    def log(
+        self,
+        state: "ServingState",
+        context: RequestContext,
+        items: np.ndarray,
+        clicks: np.ndarray,
+    ) -> LoggedImpression:
+        """Encode one exposure against the *current* state and append it.
+
+        Must be called before the clicks are applied to ``state`` (which is
+        exactly what ``ServingState.record_clicks`` does), so the stored
+        features match what the model saw when it ranked the items.
+        """
+        items = np.asarray(items, dtype=np.int64)
+        labels = np.asarray(clicks, dtype=np.float32).reshape(-1)
+        if len(items) != len(labels):
+            raise ValueError("items and clicks must align")
+        batch = self.encoder.encode(
+            context, items, state, positions=np.arange(len(items), dtype=np.int64)
+        )
+        impression = LoggedImpression(
+            fields={name: ids.copy() for name, ids in batch["fields"].items()},
+            behavior=batch["behavior_unique"].copy(),
+            behavior_mask=batch["behavior_mask_unique"].copy(),
+            behavior_st_mask=batch["behavior_st_mask_unique"].copy(),
+            labels=labels.copy(),
+            time_period=batch["time_period"].copy(),
+            city=batch["city"].copy(),
+            hour=batch["hour"].copy(),
+            position=batch["position"].copy(),
+            day=int(context.day),
+        )
+        self._impressions.append(impression)
+        self.impressions_logged += 1
+        self.rows_logged += len(impression)
+        self.clicks_logged += int(labels.sum())
+        return impression
+
+    # ------------------------------------------------------------------ #
+    def merged_batch(self, last_n: Optional[int] = None) -> Dict[str, np.ndarray]:
+        """Concatenate the newest ``last_n`` impressions into one model batch.
+
+        The result follows the offline training batch contract (flat
+        ``behavior`` per row, no dedup keys), so the standard trainer path —
+        gradients included — consumes it unchanged.  ``session`` numbers the
+        impressions within the window so grouped metrics keep working.
+        """
+        impressions = list(self._impressions)
+        if last_n is not None:
+            if last_n <= 0:
+                raise ValueError("last_n must be positive")
+            impressions = impressions[-last_n:]
+        impressions = [impression for impression in impressions if len(impression)]
+        if not impressions:
+            raise ValueError("replay buffer window is empty")
+
+        counts = np.array([len(impression) for impression in impressions], dtype=np.int64)
+        session = np.repeat(np.arange(len(impressions), dtype=np.int64), counts)
+        field_names = list(impressions[0].fields)
+        batch: Dict[str, np.ndarray] = {
+            "fields": {
+                name: np.concatenate([impression.fields[name] for impression in impressions])
+                for name in field_names
+            },
+            "behavior": np.concatenate(
+                [np.repeat(imp.behavior, len(imp), axis=0) for imp in impressions]
+            ),
+            "behavior_mask": np.concatenate(
+                [np.repeat(imp.behavior_mask, len(imp), axis=0) for imp in impressions]
+            ),
+            "behavior_st_mask": np.concatenate(
+                [np.repeat(imp.behavior_st_mask, len(imp), axis=0) for imp in impressions]
+            ),
+            "labels": np.concatenate([impression.labels for impression in impressions]),
+            "time_period": np.concatenate([imp.time_period for imp in impressions]),
+            "city": np.concatenate([impression.city for impression in impressions]),
+            "hour": np.concatenate([impression.hour for impression in impressions]),
+            "session": session,
+            "position": np.concatenate([imp.position for imp in impressions]),
+        }
+        return batch
+
+    def summary(self) -> str:
+        ctr = self.clicks_logged / max(self.rows_logged, 1)
+        return (
+            f"{len(self)} impressions in window ({self.num_rows} rows); "
+            f"lifetime {self.impressions_logged} impressions / "
+            f"{self.rows_logged} rows, logged CTR {ctr:.3f}"
+        )

@@ -11,17 +11,25 @@ versioned store the online encoder uses to avoid re-encoding user behaviour
 sequences and static user/item feature tables between requests.  Entries are
 keyed by a caller-chosen tuple plus a version number; ``record_clicks`` bumps
 the per-user version so stale behaviour snapshots are never served.
+
+When a :class:`repro.serving.replay.ReplayBuffer` is attached
+(:meth:`ServingState.attach_replay`), ``record_clicks`` also logs each
+exposure with its click labels before applying the feedback — the raw
+material of the continuous-refresh lifecycle.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, Hashable, List, Optional, Tuple
 
 import numpy as np
 
 from ..data.log import ImpressionLog, LogGenerator
 from ..data.world import RequestContext, SyntheticWorld
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import (replay imports state)
+    from .replay import ReplayBuffer
 
 __all__ = ["UserHistoryState", "FeatureCache", "ServingState"]
 
@@ -130,6 +138,26 @@ class FeatureCache:
         self._store.pop(key, None)
         self._pinned.pop(key, None)
 
+    def invalidate_volatile(self) -> None:
+        """Drop every versioned entry but keep the pinned static tables.
+
+        Called on model hot-swap as a deliberate *policy*, not a correctness
+        requirement: cached entries hold encoder output that depends only on
+        the schema, but a production feature server cannot assume that of an
+        arbitrary model push, so promotions start from a cold volatile cache
+        (entries rebuild lazily and cheaply).  The pinned precomputed id
+        tables survive — the schema is fingerprint-checked before any swap.
+        """
+        self._store.clear()
+
+    @property
+    def num_pinned(self) -> int:
+        return len(self._pinned)
+
+    @property
+    def num_volatile(self) -> int:
+        return len(self._store)
+
     def clear(self) -> None:
         self._store.clear()
         self._pinned.clear()
@@ -156,6 +184,9 @@ class ServingState:
         # Bumped whenever a user's history or counters change; consumed by the
         # feature cache so per-user entries expire on write.
         self.user_version = np.zeros(world.config.num_users, dtype=np.int64)
+        #: Optional impression log feeding the online-learning loop; attach
+        #: one with :meth:`attach_replay` to start recording served traffic.
+        self.replay: Optional["ReplayBuffer"] = None
 
     # ------------------------------------------------------------------ #
     @classmethod
@@ -203,10 +234,23 @@ class ServingState:
         ).astype(np.float32)
         return ids, mask, st_mask
 
+    def attach_replay(self, replay: "ReplayBuffer") -> "ReplayBuffer":
+        """Start logging every fed-back exposure into ``replay``."""
+        self.replay = replay
+        return replay
+
     def record_clicks(self, context: RequestContext, items: np.ndarray, clicks: np.ndarray,
                       order_probability: float = 0.3,
                       rng: Optional[np.random.Generator] = None) -> None:
-        """Update user and item state after a served request."""
+        """Update user and item state after a served request.
+
+        When a replay buffer is attached the exposure is logged *first*, so
+        the stored features are exactly the pre-feedback ones the ranker
+        scored — no-click exposures included, since those are the negative
+        examples incremental training needs.
+        """
+        if self.replay is not None:
+            self.replay.log(self, context, items, clicks)
         rng = rng if rng is not None else np.random.default_rng(0)
         clicked = np.where(np.asarray(clicks) > 0)[0]
         if len(clicked) == 0:

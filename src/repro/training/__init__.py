@@ -1,4 +1,5 @@
-"""Training loop, evaluation, profiling, and experiment drivers."""
+"""Training loop, evaluation, profiling, experiment drivers, and the
+incremental (online-learning) trainer of the model lifecycle."""
 
 from .config import TrainConfig
 from .evaluator import evaluate_model, predict_dataset
@@ -8,8 +9,9 @@ from .experiment import (
     run_basm_ablation,
     run_comparison,
 )
+from .incremental import IncrementalResult, IncrementalTrainer, OnlineTrainConfig
 from .profiler import EfficiencyReport, estimate_memory_mb, profile_model
-from .trainer import Trainer, TrainResult
+from .trainer import Trainer, TrainResult, build_optimizer
 
 __all__ = [
     "TrainConfig",
@@ -19,9 +21,13 @@ __all__ = [
     "format_table",
     "run_basm_ablation",
     "run_comparison",
+    "IncrementalResult",
+    "IncrementalTrainer",
+    "OnlineTrainConfig",
     "EfficiencyReport",
     "estimate_memory_mb",
     "profile_model",
     "Trainer",
     "TrainResult",
+    "build_optimizer",
 ]

@@ -17,7 +17,35 @@ from ..nn.optim import SGD, Adagrad, AdagradDecay, Adam, LinearWarmup
 from .config import TrainConfig
 from .evaluator import evaluate_model
 
-__all__ = ["TrainResult", "Trainer"]
+__all__ = ["TrainResult", "Trainer", "build_optimizer"]
+
+
+def build_optimizer(model: BaseCTRModel, config: TrainConfig):
+    """Build the paper-recipe optimizer (+ optional warm-up scheduler).
+
+    Shared by the offline :class:`Trainer` and the online
+    :class:`repro.training.incremental.IncrementalTrainer`, so both phases of
+    the lifecycle run the identical optimisation stack.
+    """
+    parameters = model.parameters()
+    if config.optimizer == "adagrad_decay":
+        optimizer = AdagradDecay(parameters, lr=config.learning_rate,
+                                 decay=config.adagrad_decay)
+    elif config.optimizer == "adagrad":
+        optimizer = Adagrad(parameters, lr=config.learning_rate)
+    elif config.optimizer == "adam":
+        optimizer = Adam(parameters, lr=config.learning_rate)
+    else:
+        optimizer = SGD(parameters, lr=config.learning_rate)
+    scheduler = None
+    if config.use_warmup:
+        scheduler = LinearWarmup(
+            optimizer,
+            start_lr=config.warmup_start_lr,
+            end_lr=config.warmup_peak_lr,
+            warmup_steps=config.warmup_steps,
+        )
+    return optimizer, scheduler
 
 
 @dataclass
@@ -45,25 +73,7 @@ class Trainer:
 
     # ------------------------------------------------------------------ #
     def _build_optimizer(self, model: BaseCTRModel):
-        cfg = self.config
-        parameters = model.parameters()
-        if cfg.optimizer == "adagrad_decay":
-            optimizer = AdagradDecay(parameters, lr=cfg.learning_rate, decay=cfg.adagrad_decay)
-        elif cfg.optimizer == "adagrad":
-            optimizer = Adagrad(parameters, lr=cfg.learning_rate)
-        elif cfg.optimizer == "adam":
-            optimizer = Adam(parameters, lr=cfg.learning_rate)
-        else:
-            optimizer = SGD(parameters, lr=cfg.learning_rate)
-        scheduler = None
-        if cfg.use_warmup:
-            scheduler = LinearWarmup(
-                optimizer,
-                start_lr=cfg.warmup_start_lr,
-                end_lr=cfg.warmup_peak_lr,
-                warmup_steps=cfg.warmup_steps,
-            )
-        return optimizer, scheduler
+        return build_optimizer(model, self.config)
 
     # ------------------------------------------------------------------ #
     def fit(

@@ -1,0 +1,160 @@
+"""Checkpoint and model-store tests: every registry model must round-trip.
+
+The lifecycle's first guarantee: a model saved to disk and restored from its
+manifest serves **bitwise-identical** predictions — no re-quantisation, no
+architecture guesswork, no silent schema drift.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.features.schema import public_schema
+from repro.models import (
+    MODEL_REGISTRY,
+    ModelStore,
+    create_model,
+    load_checkpoint,
+    restore_model,
+    save_checkpoint,
+)
+
+
+@pytest.fixture(scope="module")
+def probe_batch(eleme_dataset):
+    return eleme_dataset.train.batch(np.arange(96))
+
+
+# ---------------------------------------------------------------------- #
+# round-trips
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("model_name", sorted(MODEL_REGISTRY))
+def test_every_registry_model_round_trips_bitwise(
+    model_name, eleme_dataset, small_model_config, probe_batch, tmp_path
+):
+    model = create_model(model_name, eleme_dataset.schema, small_model_config)
+    before = model.predict(probe_batch)
+
+    path = save_checkpoint(model, tmp_path / f"{model_name}.npz", step_count=7)
+    restored, manifest = restore_model(path, eleme_dataset.schema)
+
+    assert manifest.model_name == model_name
+    assert manifest.step_count == 7
+    assert manifest.schema_fingerprint == eleme_dataset.schema.fingerprint()
+    assert type(restored) is type(model)
+
+    # Parameters and buffers must match exactly...
+    original_state = model.state_dict()
+    restored_state = restored.state_dict()
+    assert sorted(original_state) == sorted(restored_state)
+    for key, value in original_state.items():
+        assert np.array_equal(value, restored_state[key]), key
+
+    # ...and so must the predictions, bit for bit.
+    after = restored.predict(probe_batch)
+    assert np.array_equal(before, after)
+
+
+def test_module_npz_round_trip(eleme_dataset, small_model_config, probe_batch, tmp_path):
+    """The raw Module-level npz IO (no manifest) must also round-trip bitwise."""
+    model = create_model("base_din", eleme_dataset.schema, small_model_config)
+    before = model.predict(probe_batch)
+    path = tmp_path / "weights.npz"
+    model.save_npz(path)
+
+    clone = create_model("base_din", eleme_dataset.schema, small_model_config)
+    parameter = clone.parameters()[0]
+    parameter.data = parameter.data + 1.0  # make the clone genuinely different
+    clone.load_npz(path)
+    assert np.array_equal(before, clone.predict(probe_batch))
+
+
+def test_manifest_rebuilds_model_config(eleme_dataset, small_model_config, tmp_path):
+    model = create_model("basm", eleme_dataset.schema, small_model_config)
+    path = save_checkpoint(model, tmp_path / "basm", metadata={"note": "nightly"})
+    assert path.suffix == ".npz"
+
+    _, manifest = load_checkpoint(path)
+    rebuilt = manifest.build_model_config()
+    assert rebuilt == small_model_config
+    assert isinstance(rebuilt.tower_units, tuple)
+    assert manifest.metadata == {"note": "nightly"}
+
+
+# ---------------------------------------------------------------------- #
+# strict-mode failures
+# ---------------------------------------------------------------------- #
+def test_missing_key_raises_in_strict_mode(eleme_dataset, small_model_config, tmp_path):
+    model = create_model("wide_deep", eleme_dataset.schema, small_model_config)
+    path = save_checkpoint(model, tmp_path / "wd.npz")
+    state, _ = load_checkpoint(path)
+
+    dropped = next(iter(state))
+    del state[dropped]
+    with pytest.raises(KeyError, match="missing"):
+        model.load_state_dict(state, strict=True)
+
+
+def test_unexpected_key_raises_in_strict_mode(eleme_dataset, small_model_config, tmp_path):
+    model = create_model("wide_deep", eleme_dataset.schema, small_model_config)
+    path = save_checkpoint(model, tmp_path / "wd.npz")
+    state, _ = load_checkpoint(path)
+
+    state["not.a.real.parameter"] = np.zeros(3, dtype=np.float32)
+    with pytest.raises(KeyError, match="unexpected"):
+        model.load_state_dict(state, strict=True)
+
+
+def test_schema_fingerprint_mismatch_refuses_restore(
+    eleme_dataset, small_model_config, tmp_path
+):
+    model = create_model("din", eleme_dataset.schema, small_model_config)
+    path = save_checkpoint(model, tmp_path / "din.npz")
+
+    other_schema = public_schema()
+    assert other_schema.fingerprint() != eleme_dataset.schema.fingerprint()
+    with pytest.raises(ValueError, match="fingerprint mismatch"):
+        restore_model(path, other_schema)
+
+
+def test_non_checkpoint_npz_is_rejected(tmp_path):
+    path = tmp_path / "junk.npz"
+    np.savez(path, weights=np.ones(4))
+    with pytest.raises(ValueError, match="manifest"):
+        load_checkpoint(path)
+
+
+# ---------------------------------------------------------------------- #
+# versioned store
+# ---------------------------------------------------------------------- #
+def test_model_store_versions_monotonically(eleme_dataset, small_model_config, tmp_path):
+    store = ModelStore(tmp_path / "store")
+    model = create_model("base_din", eleme_dataset.schema, small_model_config)
+
+    first = store.publish(model, step_count=10)
+    # Perturb a parameter and publish again: the store must keep both.
+    parameter = model.parameters()[0]
+    parameter.data = parameter.data + 1.0
+    second = store.publish(model, step_count=20)
+
+    assert (first.version, second.version) == (1, 2)
+    assert store.versions("base_din") == [1, 2]
+    assert store.latest_version("base_din") == 2
+    assert store.model_names() == ["base_din"]
+    assert store.manifest("base_din", 1).step_count == 10
+    assert store.manifest("base_din").step_count == 20
+
+    old_model, old_version = store.load("base_din", eleme_dataset.schema, version=1)
+    new_model, new_version = store.load("base_din", eleme_dataset.schema)
+    assert (old_version.version, new_version.version) == (1, 2)
+    delta = new_model.parameters()[0].data - old_model.parameters()[0].data
+    assert np.allclose(delta, 1.0)
+
+
+def test_model_store_missing_version_raises(eleme_dataset, tmp_path):
+    store = ModelStore(tmp_path / "store")
+    with pytest.raises(FileNotFoundError):
+        store.load("base_din", eleme_dataset.schema)
+    with pytest.raises(FileNotFoundError):
+        store.manifest("nope")

@@ -1,0 +1,21 @@
+"""Docs must not rot: every module reference in the guides must resolve.
+
+Runs the same check CI does (``tools/check_docs.py``) so a rename that
+orphans a path in ``docs/ARCHITECTURE.md`` or ``README.md`` fails locally.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_architecture_and_readme_references_resolve():
+    result = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "tools" / "check_docs.py")],
+        capture_output=True, text=True,
+    )
+    assert result.returncode == 0, f"\n{result.stdout}{result.stderr}"
