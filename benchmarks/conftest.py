@@ -14,6 +14,7 @@ so the regenerated numbers survive pytest's output capture.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -59,6 +60,21 @@ def save_result(name: str, text: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
     print(f"\n===== {name} =====\n{text}\n")
+
+
+def save_bench_json(name: str, metrics: dict) -> None:
+    """Persist a benchmark's headline numbers as ``results/BENCH_<name>.json``.
+
+    The machine-readable twin of :func:`save_result`: ``tools/check_bench.py``
+    compares these files against the committed tolerance bands in
+    ``benchmarks/baselines.json``, so throughput / quality numbers cannot
+    silently regress in CI.  Only scalar metrics belong here.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {"benchmark": name, "scale": _SCALE, "metrics": metrics}
+    (RESULTS_DIR / f"BENCH_{name}.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
 
 
 def format_rows(rows, title: str = "") -> str:

@@ -14,7 +14,7 @@ from repro.data import LogGenerator
 from repro.models import create_model
 from repro.serving import OnlineRequestEncoder, ServingState, run_load_test
 
-from .conftest import MODEL_CONFIG, format_rows, save_result
+from .conftest import MODEL_CONFIG, format_rows, save_bench_json, save_result
 
 
 def test_serving_throughput(eleme_bench):
@@ -32,6 +32,16 @@ def test_serving_throughput(eleme_bench):
         "serving_throughput",
         format_rows(report.rows(), title="Serving engine throughput (1k-request burst)")
         + "\n" + report.summary(),
+    )
+    save_bench_json(
+        "serving_throughput",
+        {
+            "speedup": report.speedup,
+            "sequential_rps": report.sequential_rps,
+            "batched_rps": report.batched_rps,
+            "max_abs_score_diff": report.max_abs_score_diff,
+            "cache_hit_rate": report.cache_hit_rate,
+        },
     )
 
     # Scores must be identical — micro-batching is a pure throughput change.

@@ -338,6 +338,19 @@ class SyntheticWorld:
             geohash=geohash,
         )
 
+    def recall_pool(self, city: int) -> np.ndarray:
+        """The base candidate pool of a city: its items, or everything.
+
+        The single definition of the "what is even recallable here" fallback
+        shared by every recall channel and the offline log generator — a city
+        with no items degrades to the global item set rather than an empty
+        pool.
+        """
+        pool = self.items_by_city.get(int(city))
+        if pool is None or len(pool) == 0:
+            return np.arange(self.config.num_items)
+        return pool
+
     def candidate_items(
         self,
         context: RequestContext,
@@ -349,9 +362,7 @@ class SyntheticWorld:
         Mirrors the paper's Fig. 1 pipeline where candidates are recalled by
         the location-based service before ranking.
         """
-        pool = self.items_by_city[context.city]
-        if len(pool) == 0:
-            pool = np.arange(self.config.num_items)
+        pool = self.recall_pool(context.city)
         size = min(num_candidates, len(pool))
         # Prefer nearby items: weight by inverse distance.
         delta = self.item_location[pool] - np.array([context.latitude, context.longitude])

@@ -226,6 +226,30 @@ class BaseCTRModel(nn.Module):
         finally:
             self.train(was_training)
 
+    def export_item_embeddings(self, item_feature_ids: np.ndarray,
+                               l2_normalize: bool = True) -> np.ndarray:
+        """Per-item vectors for similarity recall, from the trained table.
+
+        ``item_feature_ids`` is an ``(num_items, k)`` array of *global* ids
+        — one row per item over its candidate-item features, exactly the
+        layout of ``OnlineRequestEncoder.item_static_table`` — and the
+        export is the concatenation of those features' learned embeddings:
+        the same representation the ranker's candidate-item field consumes,
+        so items the model scores similarly land close in this space.  Rows
+        are L2-normalised by default (cosine similarity = dot product); an
+        all-zero row is left untouched rather than divided by zero.
+        """
+        ids = np.asarray(item_feature_ids, dtype=np.int64)
+        if ids.ndim != 2:
+            raise ValueError(f"item_feature_ids must be 2-D, got shape {ids.shape}")
+        with nn.no_grad():
+            vectors = self.embedder.embed_flat_field(ids).data
+        vectors = np.array(vectors, dtype=np.float64)
+        if l2_normalize:
+            norms = np.linalg.norm(vectors, axis=1, keepdims=True)
+            vectors = vectors / np.maximum(norms, 1e-12)
+        return vectors
+
     # ------------------------------------------------------------------ #
     def concat_fields(self, fields: Dict[str, Tensor]) -> Tensor:
         """Concatenate field representations in canonical field order."""

@@ -13,7 +13,17 @@ from .loadgen import (
 )
 from .platform import PersonalizationPlatform, ServedImpression
 from .ranker import Ranker
-from .recall import LocationBasedRecall
+from .recall import (
+    EmbeddingANNChannel,
+    GeoGridChannel,
+    LocationBasedRecall,
+    MultiChannelRecall,
+    PopularityChannel,
+    RecallChannel,
+    RecallFusion,
+    UserHistoryChannel,
+    request_rng,
+)
 from .replay import LoggedImpression, ReplayBuffer
 from .state import FeatureCache, ServingState, UserHistoryState
 
@@ -33,7 +43,15 @@ __all__ = [
     "PersonalizationPlatform",
     "ServedImpression",
     "Ranker",
+    "RecallChannel",
+    "request_rng",
     "LocationBasedRecall",
+    "GeoGridChannel",
+    "EmbeddingANNChannel",
+    "PopularityChannel",
+    "UserHistoryChannel",
+    "MultiChannelRecall",
+    "RecallFusion",
     "LoggedImpression",
     "ReplayBuffer",
     "FeatureCache",

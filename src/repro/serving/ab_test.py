@@ -23,7 +23,7 @@ from ..models.base import BaseCTRModel
 from .batching import ScoreRequest
 from .encoder import OnlineRequestEncoder
 from .ranker import Ranker, hot_swap
-from .recall import LocationBasedRecall
+from .recall import MultiChannelRecall
 from .state import ServingState
 
 __all__ = ["ABTestConfig", "ABTestResult", "ABTestSimulator"]
@@ -150,6 +150,7 @@ class ABTestSimulator:
         encoder: OnlineRequestEncoder,
         state: ServingState,
         config: Optional[ABTestConfig] = None,
+        recall=None,
     ) -> None:
         self.world = world
         self.config = config or ABTestConfig()
@@ -157,8 +158,17 @@ class ABTestSimulator:
         self.state = state
         self.control_ranker = Ranker(control_model, encoder)
         self.treatment_ranker = Ranker(treatment_model, encoder)
-        self.recall = LocationBasedRecall(world, pool_size=self.config.recall_size,
-                                          seed=self.config.seed + 1)
+        #: Both buckets share one Recall stage, exactly as in production
+        #: where the experiment only swaps the ranking model.  The default
+        #: fused stack is built *without* an embedding-ANN channel — a shared
+        #: recall must not embed one arm's model, or retrieval would leak
+        #: ranking signal into the other bucket.  Pass ``recall=`` (e.g. the
+        #: seed :class:`repro.serving.recall.LocationBasedRecall`) to pin a
+        #: strategy, as the paper-figure benchmarks do to reproduce the
+        #: paper's location-based-service setup.
+        self.recall = recall if recall is not None else MultiChannelRecall.build(
+            world, state, pool_size=self.config.recall_size, seed=self.config.seed + 1,
+        )
         self.rng = np.random.default_rng(self.config.seed)
 
     # ------------------------------------------------------------------ #

@@ -68,8 +68,13 @@ class OnlineRequestEncoder:
     # ------------------------------------------------------------------ #
     # static global-id tables (built once per world/schema, cached in state)
     # ------------------------------------------------------------------ #
-    def _item_static_table(self, state: ServingState) -> np.ndarray:
-        """``(num_items, 5)`` global ids: item_id, category, brand, price, quality."""
+    def item_static_table(self, state: ServingState) -> np.ndarray:
+        """``(num_items, 5)`` global ids: item_id, category, brand, price, quality.
+
+        Public because the embedding-ANN recall channel exports item vectors
+        by gathering these rows from a model's embedding table
+        (:meth:`repro.models.base.BaseCTRModel.export_item_embeddings`).
+        """
 
         def build() -> np.ndarray:
             world = self.world
@@ -251,7 +256,7 @@ class OnlineRequestEncoder:
         ).reshape(num_requests, 2)
 
         # --- candidate item field (vectorised over all rows) ------------ #
-        item_static = self._item_static_table(state)
+        item_static = self.item_static_table(state)
         distance = world.distances_to_locations(flat_candidates, locations[row_map])
         distance_norm = distance / (2.0 * world.config.city_radius_degrees)
         distance_bucket = np.clip(bucketize(distance_norm, np.linspace(0.2, 1.8, 9)), 1, 10)

@@ -106,12 +106,22 @@ def generate_burst(
     recall_size: int = 30,
     day: int = 100,
     seed: int = 11,
+    recall=None,
 ) -> List[ScoreRequest]:
-    """Sample a burst of concurrent requests with their recalled candidates."""
+    """Sample a burst of concurrent requests with their recalled candidates.
+
+    ``recall`` is any strategy with the ``recall(context, pool_size=None)``
+    interface — by default the seed proximity sampler (so throughput
+    benchmarks keep measuring the same retrieval strategy; its draws are now
+    per-request deterministic, so pools differ from pre-fix runs), or a
+    :class:`repro.serving.recall.MultiChannelRecall` to replay the burst
+    through the fused multi-channel stage.
+    """
     rng = np.random.default_rng(seed)
-    recall = LocationBasedRecall(world, pool_size=recall_size, seed=seed + 1)
+    if recall is None:
+        recall = LocationBasedRecall(world, pool_size=recall_size, seed=seed + 1)
     return [
-        ScoreRequest(context, recall.recall(context))
+        ScoreRequest(context, recall.recall(context, recall_size))
         for context in (
             world.sample_request_context(day, rng) for _ in range(num_requests)
         )

@@ -19,7 +19,7 @@ from ..models.base import BaseCTRModel
 from .batching import ScoreRequest
 from .encoder import OnlineRequestEncoder
 from .ranker import Ranker, hot_swap
-from .recall import LocationBasedRecall
+from .recall import MultiChannelRecall
 from .state import ServingState
 
 __all__ = ["ServedImpression", "PersonalizationPlatform"]
@@ -49,12 +49,22 @@ class PersonalizationPlatform:
         recall_size: int = 30,
         exposure_size: int = 10,
         seed: int = 3,
+        recall=None,
     ) -> None:
         self.world = world
         self.state = state
         self.encoder = encoder
         self.ranker = Ranker(model, encoder)
-        self.recall = LocationBasedRecall(world, pool_size=recall_size, seed=seed)
+        #: The Recall stage.  Defaults to the fused multi-channel subsystem
+        #: (geo grid + popularity + user history + embedding-ANN over the
+        #: serving model's item vectors); pass ``recall=`` — e.g. the seed
+        #: :class:`repro.serving.recall.LocationBasedRecall` — to pin a
+        #: different retrieval strategy (benchmarks reproducing the paper's
+        #: location-based-service setup do this).
+        self.recall = recall if recall is not None else MultiChannelRecall.build(
+            world, state, encoder=encoder, model=model,
+            pool_size=recall_size, seed=seed,
+        )
         self.exposure_size = exposure_size
 
     def swap_model(self, model: BaseCTRModel) -> BaseCTRModel:
@@ -70,8 +80,17 @@ class PersonalizationPlatform:
         :meth:`repro.serving.state.FeatureCache.invalidate_volatile` — while
         pinned static id tables survive the swap untouched.  Returns the
         previous model so callers can roll back.
+
+        When the recall stage carries an embedding-ANN channel, its item
+        vectors are re-exported from the incoming model so retrieval and
+        ranking stay consistent after the promotion (the synchronous analog
+        of a production ANN-index rebuild).
         """
-        return hot_swap(self.ranker, self.encoder.schema, self.state.features, model)
+        previous = hot_swap(self.ranker, self.encoder.schema, self.state.features, model)
+        refresh = getattr(self.recall, "refresh_embeddings", None)
+        if refresh is not None:
+            refresh(model, self.encoder)
+        return previous
 
     def serve(self, context: RequestContext) -> ServedImpression:
         """Handle one request end-to-end and return the exposed items."""
@@ -82,9 +101,11 @@ class PersonalizationPlatform:
     def serve_many(self, contexts: List[RequestContext]) -> List[ServedImpression]:
         """Handle a burst of concurrent requests through the batched engine.
 
-        Recall still runs per request (it is cheap and stateful through its
-        own rng), but ranking packs all requests into micro-batches so the
-        model runs one forward pass per batch instead of one per request.
+        Recall still runs per request — it is cheap, and every channel draws
+        its randomness from a per-request generator, so the pools here are
+        identical to what sequential :meth:`serve` calls would recall — while
+        ranking packs all requests into micro-batches so the model runs one
+        forward pass per batch instead of one per request.
         """
         requests = [ScoreRequest(context, self.recall.recall(context)) for context in contexts]
         ranked = self.ranker.rank_many(requests, self.state, self.exposure_size)

@@ -1,0 +1,66 @@
+"""Recall-channel contract and deterministic per-request randomness.
+
+The paper's Fig. 1 pipeline begins with a Recall stage that fans a request
+out over several retrieval scenarios before the BASM ranker sees anything.
+Every concrete channel implements :class:`RecallChannel`; the fusion layer
+(:mod:`repro.serving.recall.fusion`) blends their outputs into one candidate
+pool.
+
+Randomness is *derived from the request*, never drawn from shared mutable
+state: a channel that wants to randomise receives a generator built by
+:func:`request_rng` from the request's identity, so recalling the same
+request twice — or recalling a burst in any order, batched or sequential —
+always produces the same pool.  This is the property that lets
+``PersonalizationPlatform.serve`` and ``serve_many`` guarantee identical
+candidate sets.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from ...data.world import RequestContext
+from ..state import ServingState
+
+__all__ = ["RecallChannel", "request_rng"]
+
+
+def request_rng(seed: int, context: RequestContext, salt: str = "") -> np.random.Generator:
+    """A generator deterministically keyed by (seed, salt, request identity).
+
+    The key covers everything that identifies the request — user, day, hour
+    and geohash — so two distinct requests decorrelate while replays of the
+    same request reproduce bit-identical draws.  ``salt`` keeps channels
+    independent: adding or removing one channel never shifts another's
+    stream.
+    """
+    digest = zlib.crc32(
+        f"{salt}:{context.user_index}:{context.day}:{context.hour}:{context.geohash}"
+        .encode("utf-8")
+    )
+    return np.random.default_rng((int(seed) & 0xFFFFFFFF, digest))
+
+
+class RecallChannel:
+    """One retrieval scenario: (request, state) -> ranked candidate items.
+
+    Implementations return up to ``size`` item indices ordered best-first.
+    They must be pure with respect to their inputs — any randomisation goes
+    through the supplied per-request ``rng`` — and may return fewer than
+    ``size`` items (or none at all, e.g. a history channel facing a
+    cold-start user); the fusion layer backfills from the other channels.
+    """
+
+    #: Stable identifier; fusion quotas and the canonical blend order key on it.
+    name = "channel"
+
+    def recall(
+        self,
+        context: RequestContext,
+        state: ServingState,
+        size: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        raise NotImplementedError

@@ -1,0 +1,370 @@
+"""Concrete recall channels (the "Recall" stage of the paper's Fig. 1).
+
+Four production-style retrieval scenarios plus the original proximity
+sampler:
+
+* :class:`GeoGridChannel` — indexed geo retrieval: a precomputed
+  geohash-cell inverted index over the world's item locations replaces the
+  per-request full-city distance scan;
+* :class:`EmbeddingANNChannel` — vectorised top-k similarity search over
+  item embeddings exported from a trained ranking model
+  (:meth:`repro.models.base.BaseCTRModel.export_item_embeddings`);
+* :class:`PopularityChannel` — per-city popularity from live click
+  counters, sharpened by the per-time-period counters in
+  :class:`repro.serving.state.ServingState`;
+* :class:`UserHistoryChannel` — expands the user's recent shops and
+  categories from the serving state into same-city candidates;
+* :class:`LocationBasedRecall` — the seed proximity-weighted sampler, kept
+  as the benchmark-parity escape hatch, now with per-request deterministic
+  randomness instead of a shared mutated generator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ...data.world import RequestContext, SyntheticWorld
+from ...features.geohash import geohash_neighbors
+from ..state import ServingState
+from .base import RecallChannel, request_rng
+
+__all__ = [
+    "LocationBasedRecall",
+    "GeoGridChannel",
+    "EmbeddingANNChannel",
+    "PopularityChannel",
+    "UserHistoryChannel",
+]
+
+
+def _top_k_by_score(pool: np.ndarray, scores: np.ndarray, size: int) -> np.ndarray:
+    """Highest-scoring ``size`` items of ``pool``, deterministically ordered.
+
+    ``argpartition`` keeps the cost at O(pool) for small ``size``; the final
+    stable sort over the shortlist breaks score ties by pool position, so the
+    result never depends on how the pool happened to be laid out in memory.
+    """
+    if len(pool) <= size:
+        order = np.argsort(-scores, kind="stable")
+        return pool[order]
+    shortlist = np.argpartition(-scores, size - 1)[:size]
+    shortlist = shortlist[np.lexsort((shortlist, -scores[shortlist]))]
+    return pool[shortlist]
+
+
+class LocationBasedRecall:
+    """Proximity-weighted sampling over the request's city (the seed recall).
+
+    Candidates are restricted to the request's city and sampled with
+    inverse-distance weights, computed with a full distance scan over the
+    city pool — this is the baseline the indexed :class:`GeoGridChannel` is
+    benchmarked against, and the escape hatch
+    ``PersonalizationPlatform(..., recall=LocationBasedRecall(world))`` that
+    keeps a benchmark on the seed *sampling strategy* instead of the fused
+    multi-channel stage.
+
+    Randomisation is keyed to the request via :func:`request_rng` rather
+    than drawn from a shared mutated generator, so batched and sequential
+    serving recall identical pools (the seed implementation's shared
+    ``self.rng`` made ``serve_many`` order-dependent).  Consequently the
+    *strategy* is preserved but the concrete draws differ from the pre-fix
+    sampler: archived pool-dependent numbers do not reproduce bit-for-bit.
+    """
+
+    def __init__(self, world: SyntheticWorld, pool_size: int = 30, seed: int = 5) -> None:
+        if pool_size <= 0:
+            raise ValueError("pool_size must be positive")
+        self.world = world
+        self.pool_size = pool_size
+        self.seed = seed
+
+    def recall(
+        self,
+        context: RequestContext,
+        pool_size: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Return up to ``pool_size`` candidate item indices for the request."""
+        size = pool_size or self.pool_size
+        pool = self.world.recall_pool(context.city)
+        if len(pool) <= size:
+            return pool.copy()
+        delta = self.world.item_location[pool] - np.array([context.latitude, context.longitude])
+        distance = np.sqrt((delta ** 2).sum(axis=1))
+        weights = 1.0 / (0.05 + distance)
+        weights = weights / weights.sum()
+        if rng is None:
+            rng = request_rng(self.seed, context, salt="proximity")
+        return rng.choice(pool, size=size, replace=False, p=weights)
+
+
+class GeoGridChannel(RecallChannel):
+    """Nearby items via a precomputed geohash-cell inverted index.
+
+    Items are bucketed once, at construction, into geohash cells at several
+    precisions.  A request gathers its own cell plus the 8 neighbours at the
+    finest precision, degrading to coarser cells only when the grid is too
+    sparse, and ranks just the gathered items by true distance — no
+    per-request scan over the whole city.  Neighbour lookups are memoised
+    per cell, so steady-state retrieval is a handful of dict gathers plus a
+    distance computation over a few dozen items.
+
+    ``min_precision`` bounds how coarse the degradation may go before the
+    channel falls back to the request's city pool; the default (4, cells of
+    roughly 0.18°) keeps a 3x3 block well inside one synthetic city, so the
+    grid never silently recalls another city's shops.
+    """
+
+    name = "geo_grid"
+
+    def __init__(
+        self,
+        world: SyntheticWorld,
+        max_precision: Optional[int] = None,
+        min_precision: int = 4,
+    ) -> None:
+        self.world = world
+        self.max_precision = max_precision or world.config.geohash_precision
+        self.min_precision = min(min_precision, self.max_precision)
+        self._index: Dict[int, Dict[str, np.ndarray]] = {}
+        for precision in range(self.min_precision, self.max_precision + 1):
+            cells: Dict[str, List[int]] = {}
+            for item, geohash in enumerate(world.item_geohash):
+                cells.setdefault(geohash[:precision], []).append(item)
+            self._index[precision] = {
+                cell: np.asarray(items, dtype=np.int64) for cell, items in cells.items()
+            }
+        self._neighbor_cache: Dict[str, List[str]] = {}
+        # Requests cluster on home cells, so the 3x3-block gather around a
+        # cell is memoised per (precision, cell).  Keying on the precision
+        # keeps recall a pure function of (request, state, size): which
+        # precision serves a request depends only on the static grid and the
+        # requested size, never on what earlier calls happened to cache.
+        self._gather_cache: Dict[tuple, np.ndarray] = {}
+
+    def _cells_around(self, cell: str) -> List[str]:
+        cached = self._neighbor_cache.get(cell)
+        if cached is None:
+            cached = [cell] + geohash_neighbors(cell)
+            self._neighbor_cache[cell] = cached
+        return cached
+
+    def _block_items(self, precision: int, cell: str) -> np.ndarray:
+        """All items in the 3x3 block of cells around ``cell`` (memoised)."""
+        key = (precision, cell)
+        gathered = self._gather_cache.get(key)
+        if gathered is None:
+            index = self._index[precision]
+            parts = [
+                index[neighbor]
+                for neighbor in self._cells_around(cell)
+                if neighbor in index
+            ]
+            if not parts:
+                gathered = np.zeros(0, dtype=np.int64)
+            else:
+                gathered = parts[0] if len(parts) == 1 else np.concatenate(parts)
+            self._gather_cache[key] = gathered
+        return gathered
+
+    def _gather(self, context: RequestContext, size: int) -> np.ndarray:
+        finest = context.geohash[: self.max_precision]
+        for precision in range(min(self.max_precision, len(finest)),
+                               self.min_precision - 1, -1):
+            gathered = self._block_items(precision, finest[:precision])
+            if len(gathered) >= size:
+                return gathered
+        return self.world.recall_pool(context.city)
+
+    def recall(
+        self,
+        context: RequestContext,
+        state: ServingState,
+        size: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        gathered = self._gather(context, size)
+        distance = self.world.distances_to_locations(
+            gathered, np.array([context.latitude, context.longitude])
+        )
+        return _top_k_by_score(gathered, -distance, size)
+
+
+class EmbeddingANNChannel(RecallChannel):
+    """Vectorised top-k similarity search over exported item embeddings.
+
+    The "i2i" channel of a production recommender: the user's recent clicks
+    are averaged into a query vector and matched against the L2-normalised
+    item-embedding matrix of the request's city with one mat-vec.  The
+    embedding matrix comes from whichever trained registry model the caller
+    exports (:meth:`repro.models.base.BaseCTRModel.export_item_embeddings`)
+    and is refreshed on hot-swap by
+    :meth:`repro.serving.recall.fusion.MultiChannelRecall.refresh_embeddings`.
+    A cold-start user with no click history yields no candidates — the
+    fusion layer backfills from the other channels.
+    """
+
+    name = "embedding_ann"
+
+    def __init__(self, world: SyntheticWorld, item_embeddings: np.ndarray,
+                 history_window: int = 10) -> None:
+        if history_window <= 0:
+            raise ValueError("history_window must be positive")
+        self.world = world
+        self.history_window = history_window
+        self.item_embeddings = self._normalize(item_embeddings)
+
+    @staticmethod
+    def _normalize(embeddings: np.ndarray) -> np.ndarray:
+        embeddings = np.asarray(embeddings, dtype=np.float64)
+        norms = np.linalg.norm(embeddings, axis=1, keepdims=True)
+        return embeddings / np.maximum(norms, 1e-12)
+
+    @classmethod
+    def from_model(cls, world: SyntheticWorld, encoder, model, state: ServingState,
+                   history_window: int = 10) -> "EmbeddingANNChannel":
+        """Build the channel from a registry model's exported item vectors."""
+        table = encoder.item_static_table(state)
+        return cls(world, model.export_item_embeddings(table),
+                   history_window=history_window)
+
+    def refresh(self, item_embeddings: np.ndarray) -> None:
+        """Swap in a freshly exported embedding matrix (model promotion)."""
+        if item_embeddings.shape[0] != self.item_embeddings.shape[0]:
+            raise ValueError(
+                f"embedding matrix rows changed: "
+                f"{self.item_embeddings.shape[0]} -> {item_embeddings.shape[0]}"
+            )
+        self.item_embeddings = self._normalize(item_embeddings)
+
+    def recall(
+        self,
+        context: RequestContext,
+        state: ServingState,
+        size: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        history = state.histories.get(context.user_index)
+        if history is None or len(history) == 0:
+            return np.zeros(0, dtype=np.int64)
+        recent = np.asarray(history.items[-self.history_window:], dtype=np.int64)
+        query = self.item_embeddings[recent].mean(axis=0)
+        norm = np.linalg.norm(query)
+        if norm < 1e-12:
+            return np.zeros(0, dtype=np.int64)
+        pool = self.world.recall_pool(context.city)
+        scores = self.item_embeddings[pool] @ (query / norm)
+        return _top_k_by_score(pool, scores, size)
+
+
+class PopularityChannel(RecallChannel):
+    """What everyone here is clicking right now.
+
+    Ranks the city pool by live click counters — the overall count plus the
+    count within the request's time period, so breakfast traffic surfaces
+    breakfast shops — with a small static quality prior as the cold-start
+    tie-breaker.  Counters come from :class:`ServingState` (seeded from the
+    offline log, updated by ``record_clicks``), so the channel adapts as
+    traffic shifts without ever touching ground-truth world internals.
+    """
+
+    name = "popularity"
+
+    def __init__(self, world: SyntheticWorld, period_weight: float = 1.0,
+                 quality_weight: float = 0.5) -> None:
+        self.world = world
+        self.period_weight = period_weight
+        self.quality_weight = quality_weight
+
+    def recall(
+        self,
+        context: RequestContext,
+        state: ServingState,
+        size: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        pool = self.world.recall_pool(context.city)
+        scores = (
+            np.log1p(state.item_clicks[pool])
+            + self.period_weight * np.log1p(state.item_period_clicks[pool, context.time_period])
+            + self.quality_weight * self.world.item_quality[pool]
+        )
+        return _top_k_by_score(pool, scores, size)
+
+
+class UserHistoryChannel(RecallChannel):
+    """Expand the user's recent shops and categories into candidates.
+
+    Two tiers, mirroring a production u2i channel: first the shops the user
+    actually clicked recently (re-order/revisit traffic dominates OFOS), then
+    same-city items from the user's recency-weighted favourite categories,
+    each category's slice ranked by live popularity.  A user with no history
+    contributes nothing and the fusion layer backfills.
+    """
+
+    name = "user_history"
+
+    def __init__(self, world: SyntheticWorld, history_window: int = 20,
+                 revisit_share: float = 0.3, recency_decay: float = 0.9) -> None:
+        if not 0.0 <= revisit_share <= 1.0:
+            raise ValueError("revisit_share must be in [0, 1]")
+        self.world = world
+        self.history_window = history_window
+        self.revisit_share = revisit_share
+        self.recency_decay = recency_decay
+
+    def recall(
+        self,
+        context: RequestContext,
+        state: ServingState,
+        size: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        history = state.histories.get(context.user_index)
+        if history is None or len(history) == 0:
+            return np.zeros(0, dtype=np.int64)
+        items = np.asarray(history.items[-self.history_window:], dtype=np.int64)
+        categories = np.asarray(history.categories[-self.history_window:], dtype=np.int64)
+        # Recency weights: the latest event gets weight 1, older ones decay.
+        weights = self.recency_decay ** np.arange(len(items) - 1, -1, -1, dtype=np.float64)
+
+        chosen: List[int] = []
+        seen = set()
+
+        # Tier 1 — revisit the user's own recent shops (latest first), but
+        # only those in the request's city.
+        revisit_budget = int(round(self.revisit_share * size))
+        city = int(context.city)
+        for item in items[::-1]:
+            if len(chosen) >= revisit_budget:
+                break
+            item = int(item)
+            if item not in seen and int(self.world.item_city[item]) == city:
+                seen.add(item)
+                chosen.append(item)
+
+        # Tier 2 — expand favourite categories into same-city items, most
+        # loved category first, each slice ranked by live popularity.
+        category_weight: Dict[int, float] = {}
+        for category, weight in zip(categories, weights):
+            category_weight[int(category)] = category_weight.get(int(category), 0.0) + weight
+        ranked_categories = sorted(category_weight, key=lambda c: (-category_weight[c], c))
+        for category in ranked_categories:
+            if len(chosen) >= size:
+                break
+            slice_pool = self.world.items_by_city_category.get((city, category))
+            if slice_pool is None or len(slice_pool) == 0:
+                continue
+            popularity = (
+                np.log1p(state.item_clicks[slice_pool]) + self.world.item_quality[slice_pool]
+            )
+            for item in _top_k_by_score(slice_pool, popularity, size):
+                if len(chosen) >= size:
+                    break
+                item = int(item)
+                if item not in seen:
+                    seen.add(item)
+                    chosen.append(item)
+        return np.asarray(chosen, dtype=np.int64)

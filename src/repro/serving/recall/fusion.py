@@ -1,0 +1,213 @@
+"""Channel fusion: blend per-channel candidate lists into one pool.
+
+:class:`RecallFusion` is the pure merge policy — dedup, quota blend,
+truncate — and :class:`MultiChannelRecall` is the serving-facing recall
+strategy that fans a request out over its channels, fuses the results and
+guarantees a full pool.  The fused pool is a *set* for the ranker: order
+carries no exposure meaning (display order is decided by ranking scores),
+but it is still deterministic for reproducibility.
+
+Fusion invariants (pinned by ``tests/serving/test_recall_channels.py``):
+
+* no duplicate items in the fused pool;
+* with every channel supplying enough candidates, each channel contributes
+  exactly its quota;
+* the result is invariant under permutation of the channel list — channels
+  are always blended in canonical (name-sorted) order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ...data.world import RequestContext, SyntheticWorld
+from ..state import ServingState
+from .base import RecallChannel, request_rng
+from .channels import (
+    EmbeddingANNChannel,
+    GeoGridChannel,
+    PopularityChannel,
+    UserHistoryChannel,
+)
+
+__all__ = ["RecallFusion", "MultiChannelRecall"]
+
+
+class RecallFusion:
+    """Deduplicate, quota-blend and truncate channel outputs.
+
+    ``quotas`` are relative weights per channel name (missing names default
+    to weight 1).  Pool slots are split by largest-remainder apportionment;
+    each channel first fills its own slots with its best unseen items, then
+    unused capacity is backfilled round-robin from channels that still have
+    candidates, so a short channel (cold-start user, sparse grid cell) never
+    shrinks the pool while others have material.
+    """
+
+    def __init__(self, quotas: Optional[Dict[str, float]] = None) -> None:
+        self.quotas = dict(quotas) if quotas else {}
+        for name, weight in self.quotas.items():
+            if weight < 0:
+                raise ValueError(f"quota weight for {name!r} must be non-negative")
+
+    def quota_counts(self, names: Sequence[str], pool_size: int) -> Dict[str, int]:
+        """Largest-remainder split of ``pool_size`` slots over ``names``."""
+        names = sorted(names)
+        weights = np.array([self.quotas.get(name, 1.0) for name in names], dtype=np.float64)
+        total = weights.sum()
+        if total <= 0:
+            weights = np.ones(len(names))
+            total = float(len(names))
+        exact = pool_size * weights / total
+        counts = np.floor(exact).astype(np.int64)
+        remainders = exact - counts
+        # Hand leftover slots to the largest remainders; ties go in name order.
+        for index in np.argsort(-remainders, kind="stable")[: pool_size - int(counts.sum())]:
+            counts[index] += 1
+        return dict(zip(names, (int(c) for c in counts)))
+
+    def fuse(self, channel_candidates: Dict[str, np.ndarray], pool_size: int) -> np.ndarray:
+        """Blend per-channel ranked candidate arrays into one deduplicated pool."""
+        if pool_size <= 0:
+            raise ValueError("pool_size must be positive")
+        names = sorted(channel_candidates)
+        quota = self.quota_counts(names, pool_size)
+        queues = {
+            name: [int(item) for item in channel_candidates[name]] for name in names
+        }
+        seen = set()
+        fused: List[int] = []
+
+        def take(name: str, budget: int) -> int:
+            """Move up to ``budget`` unseen items from ``name``'s queue to the pool."""
+            taken = 0
+            queue = queues[name]
+            while queue and taken < budget and len(fused) < pool_size:
+                item = queue.pop(0)
+                if item not in seen:
+                    seen.add(item)
+                    fused.append(item)
+                    taken += 1
+            return taken
+
+        # Phase 1: every channel fills its quota with its best unseen items.
+        for name in names:
+            take(name, quota[name])
+        # Phase 2: round-robin backfill from whoever still has candidates.
+        while len(fused) < pool_size and any(queues[name] for name in names):
+            for name in names:
+                if len(fused) >= pool_size:
+                    break
+                take(name, 1)
+        return np.asarray(fused, dtype=np.int64)
+
+
+class MultiChannelRecall:
+    """The multi-channel Recall stage: fan out, fuse, guarantee a full pool.
+
+    Drop-in replacement for the seed proximity sampler behind the same
+    ``recall(context, pool_size=None)`` strategy interface the platform, the
+    A/B simulator and the load generator consume.  Each channel receives its
+    own :func:`request_rng` stream, so pools are a pure function of
+    (request, state) — the property behind the batched/sequential serving
+    parity guarantee.  When even fusion plus backfill cannot fill the pool
+    (a city with fewer items than ``pool_size``), the whole city pool is
+    returned, matching the seed sampler's semantics.
+    """
+
+    def __init__(
+        self,
+        world: SyntheticWorld,
+        state: ServingState,
+        channels: Sequence[RecallChannel],
+        pool_size: int = 30,
+        quotas: Optional[Dict[str, float]] = None,
+        seed: int = 5,
+    ) -> None:
+        if pool_size <= 0:
+            raise ValueError("pool_size must be positive")
+        if not channels:
+            raise ValueError("at least one recall channel is required")
+        names = [channel.name for channel in channels]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate channel names: {names}")
+        self.world = world
+        self.state = state
+        self.channels = list(channels)
+        self.pool_size = pool_size
+        self.fusion = RecallFusion(quotas)
+        self.seed = seed
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def build(
+        cls,
+        world: SyntheticWorld,
+        state: ServingState,
+        encoder=None,
+        model=None,
+        pool_size: int = 30,
+        quotas: Optional[Dict[str, float]] = None,
+        seed: int = 5,
+    ) -> "MultiChannelRecall":
+        """The default channel stack: geo grid, popularity, user history,
+        plus embedding-ANN when a model (and its encoder) is available.
+
+        The A/B simulator builds without a model on purpose — a shared
+        recall stage must not embed one arm's model, or the "recall" would
+        leak ranking signal into the control bucket.
+        """
+        channels: List[RecallChannel] = [
+            GeoGridChannel(world),
+            PopularityChannel(world),
+            UserHistoryChannel(world),
+        ]
+        if model is not None:
+            if encoder is None:
+                raise ValueError("building an embedding channel requires the encoder")
+            channels.append(EmbeddingANNChannel.from_model(world, encoder, model, state))
+        return cls(world, state, channels, pool_size=pool_size, quotas=quotas, seed=seed)
+
+    # ------------------------------------------------------------------ #
+    def channel_results(
+        self, context: RequestContext, pool_size: Optional[int] = None
+    ) -> Dict[str, np.ndarray]:
+        """Per-channel ranked candidates (exposed for attribution/debugging)."""
+        size = pool_size or self.pool_size
+        return {
+            channel.name: channel.recall(
+                context, self.state, size,
+                request_rng(self.seed, context, salt=channel.name),
+            )
+            for channel in self.channels
+        }
+
+    def recall(self, context: RequestContext, pool_size: Optional[int] = None) -> np.ndarray:
+        """Fused candidate pool for one request (up to ``pool_size`` items)."""
+        size = pool_size or self.pool_size
+        fused = self.fusion.fuse(self.channel_results(context, size), size)
+        if len(fused) < size:
+            # Sparse corner (tiny city, cold user everywhere): top up from the
+            # city pool in deterministic item order.
+            pool = self.world.recall_pool(context.city)
+            missing = np.setdiff1d(pool, fused, assume_unique=False)
+            fused = np.concatenate([fused, missing[: size - len(fused)]])
+        return fused.astype(np.int64)
+
+    # ------------------------------------------------------------------ #
+    def refresh_embeddings(self, model, encoder) -> bool:
+        """Re-export ANN vectors after a model hot-swap; True if refreshed.
+
+        Production ANN indexes rebuild asynchronously after a promotion; here
+        the rebuild is synchronous and cheap (one embedding gather), keeping
+        the recall stage consistent with the freshly served model.
+        """
+        refreshed = False
+        for channel in self.channels:
+            if isinstance(channel, EmbeddingANNChannel):
+                table = encoder.item_static_table(self.state)
+                channel.refresh(model.export_item_embeddings(table))
+                refreshed = True
+        return refreshed

@@ -27,6 +27,7 @@ import numpy as np
 
 from ..data.log import ImpressionLog, LogGenerator
 from ..data.world import RequestContext, SyntheticWorld
+from ..features.time_features import TimePeriod
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import (replay imports state)
     from .replay import ReplayBuffer
@@ -179,6 +180,12 @@ class ServingState:
         self.user_clicks = np.zeros(world.config.num_users, dtype=np.int64)
         self.user_orders = np.zeros(world.config.num_users, dtype=np.int64)
         self.item_clicks = np.zeros(world.config.num_items, dtype=np.int64)
+        #: Per-(item, time-period) click counters: the priors behind the
+        #: popularity recall channel, so breakfast traffic surfaces breakfast
+        #: shops without peeking at ground-truth world internals.
+        self.item_period_clicks = np.zeros(
+            (world.config.num_items, len(TimePeriod)), dtype=np.int64
+        )
         self.histories: Dict[int, UserHistoryState] = {}
         self.features = FeatureCache()
         # Bumped whenever a user's history or counters change; consumed by the
@@ -208,7 +215,13 @@ class ServingState:
             )
             state.histories[user] = adopted
         if log is not None:
-            np.add.at(state.item_clicks, log.item_index, log.label.astype(np.int64))
+            labels = log.label.astype(np.int64)
+            np.add.at(state.item_clicks, log.item_index, labels)
+            np.add.at(
+                state.item_period_clicks,
+                (log.item_index, log.impression_period()),
+                labels,
+            )
         return state
 
     # ------------------------------------------------------------------ #
@@ -270,6 +283,7 @@ class ServingState:
             )
             self.user_clicks[context.user_index] += 1
             self.item_clicks[item] += 1
+            self.item_period_clicks[item, context.time_period] += 1
             if rng.random() < order_probability:
                 self.user_orders[context.user_index] += 1
         self.user_version[context.user_index] += 1

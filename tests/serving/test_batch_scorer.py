@@ -179,6 +179,45 @@ class TestRankerBatchedPaths:
         assert all(len(impression) == 5 for impression in impressions)
 
 
+class TestServePathParity:
+    """Batched and sequential serving must agree end to end.
+
+    The seed recall drew from a generator shared across requests, so
+    ``serve_many`` (which recalls in burst order) and ``serve`` (request by
+    request, interleaved with other traffic) produced different candidate
+    pools.  With per-request deterministic recall randomness the two paths
+    must produce identical pools — and therefore identical exposures and
+    scores.
+    """
+
+    def test_serve_and_serve_many_identical_pools_and_scores(
+        self, eleme_dataset, engine_setup
+    ):
+        state, encoder, model = engine_setup
+        platform = PersonalizationPlatform(
+            eleme_dataset.world, model, encoder, state, recall_size=14, exposure_size=5
+        )
+        rng = np.random.default_rng(21)
+        contexts = [eleme_dataset.world.sample_request_context(75, rng) for _ in range(10)]
+        batched = platform.serve_many(contexts)
+        sequential = [platform.serve(context) for context in contexts]
+        for left, right in zip(sequential, batched):
+            np.testing.assert_array_equal(left.items, right.items)
+            np.testing.assert_array_equal(left.scores, right.scores)
+
+    def test_recall_pools_independent_of_serving_order(self, eleme_dataset, engine_setup):
+        state, encoder, model = engine_setup
+        platform = PersonalizationPlatform(
+            eleme_dataset.world, model, encoder, state, recall_size=12, exposure_size=4
+        )
+        rng = np.random.default_rng(22)
+        contexts = [eleme_dataset.world.sample_request_context(76, rng) for _ in range(6)]
+        forward = [platform.recall.recall(context) for context in contexts]
+        backward = [platform.recall.recall(context) for context in reversed(contexts)]
+        for pool, again in zip(forward, reversed(backward)):
+            np.testing.assert_array_equal(pool, again)
+
+
 class TestBatchedABTest:
     def test_micro_batched_ab_run_accounts_every_exposure(self, eleme_dataset, engine_setup,
                                                           small_model_config):

@@ -1,0 +1,86 @@
+"""Tests for the benchmark regression harness (tools/check_bench.py)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+_SPEC = importlib.util.spec_from_file_location(
+    "check_bench", REPO_ROOT / "tools" / "check_bench.py"
+)
+check_bench = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(check_bench)
+
+
+def _write(tmp_path, baselines, results):
+    baselines_path = tmp_path / "baselines.json"
+    baselines_path.write_text(json.dumps(baselines), encoding="utf-8")
+    results_dir = tmp_path / "results"
+    results_dir.mkdir()
+    for name, metrics in results.items():
+        (results_dir / f"BENCH_{name}.json").write_text(
+            json.dumps({"benchmark": name, "metrics": metrics}), encoding="utf-8"
+        )
+    return ["--baselines", str(baselines_path), "--results", str(results_dir)]
+
+
+class TestBands:
+    def test_min_max_bounds(self):
+        assert check_bench.check_band(2.0, {"min": 1.0, "max": 3.0}) == []
+        assert check_bench.check_band(0.5, {"min": 1.0}) != []
+        assert check_bench.check_band(4.0, {"max": 3.0}) != []
+
+    def test_baseline_with_tolerances(self):
+        band = {"baseline": 10.0, "rel_tol": 0.1, "abs_tol": 0.5}
+        assert check_bench.check_band(11.4, band) == []
+        assert check_bench.check_band(11.6, band) != []
+        assert check_bench.check_band(8.4, band) != []
+
+
+class TestMain:
+    def test_green_run(self, tmp_path, capsys):
+        argv = _write(
+            tmp_path,
+            {"speed": {"ratio": {"min": 2.0}}},
+            {"speed": {"ratio": 3.5, "extra_metric": 1.0}},
+        )
+        assert check_bench.main(argv) == 0
+        assert "ok   speed.ratio" in capsys.readouterr().out
+
+    def test_regression_fails(self, tmp_path):
+        argv = _write(
+            tmp_path,
+            {"speed": {"ratio": {"min": 2.0}}},
+            {"speed": {"ratio": 1.2}},
+        )
+        assert check_bench.main(argv) == 1
+
+    def test_missing_results_fail_unless_allowed(self, tmp_path):
+        argv = _write(tmp_path, {"gone": {"metric": {"min": 0.0}}}, {})
+        assert check_bench.main(argv) == 1
+        assert check_bench.main(argv + ["--allow-missing"]) == 0
+
+    def test_missing_metric_fails(self, tmp_path):
+        argv = _write(
+            tmp_path,
+            {"speed": {"renamed": {"min": 0.0}}},
+            {"speed": {"ratio": 1.0}},
+        )
+        assert check_bench.main(argv) == 1
+
+    def test_repo_baselines_are_well_formed(self):
+        baselines = json.loads(
+            (REPO_ROOT / "benchmarks" / "baselines.json").read_text(encoding="utf-8")
+        )
+        assert baselines, "baselines.json must guard at least one benchmark"
+        for benchmark, bands in baselines.items():
+            assert bands, f"{benchmark} has no bands"
+            for metric, band in bands.items():
+                assert set(band) <= {"min", "max", "baseline", "rel_tol", "abs_tol"}, (
+                    f"unknown band keys for {benchmark}.{metric}: {band}"
+                )
+                assert any(key in band for key in ("min", "max", "baseline")), (
+                    f"{benchmark}.{metric} band constrains nothing"
+                )
