@@ -28,9 +28,13 @@ def test_serving_throughput(eleme_bench):
         num_requests=1000, recall_size=30, max_batch_rows=2048,
     )
 
+    percentiles = report.stage_percentiles()
     save_result(
         "serving_throughput",
         format_rows(report.rows(), title="Serving engine throughput (1k-request burst)")
+        + "\n"
+        + format_rows(report.stage_rows(),
+                      title="Pipeline stage telemetry (per 64-request window)")
         + "\n" + report.summary(),
     )
     save_bench_json(
@@ -41,6 +45,10 @@ def test_serving_throughput(eleme_bench):
             "batched_rps": report.batched_rps,
             "max_abs_score_diff": report.max_abs_score_diff,
             "cache_hit_rate": report.cache_hit_rate,
+            # Informational (no tolerance band): per-stage p95 latency of the
+            # pipeline telemetry pass, milliseconds.
+            "recall_p95_ms": percentiles["recall"]["p95"],
+            "rank_p95_ms": percentiles["rank"]["p95"],
         },
     )
 

@@ -9,7 +9,6 @@ method, in particular on the spatiotemporal metrics TAUC and CAUC.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.models import PAPER_MODELS
 from repro.training import format_table, run_comparison

@@ -59,6 +59,21 @@ def main() -> None:
     print("-" * len(header))
     for row in report.rows():
         print(f"{str(row['Engine']):34s} {row['Seconds']:8.3f} {row['Requests/sec']:13.1f}")
+
+    stage_rows = report.stage_rows()
+    if stage_rows:
+        print()
+        print(f"Per-stage latency over {report.pipeline_window}-request windows "
+              "(pipeline telemetry, StageMetrics):")
+        header = (f"{'Stage':10s} {'Calls':>6s} {'Items in':>9s} {'Items out':>10s} "
+                  f"{'p50 ms':>8s} {'p95 ms':>8s} {'p99 ms':>8s}")
+        print(header)
+        print("-" * len(header))
+        for row in stage_rows:
+            print(f"{str(row['Stage']):10s} {row['Calls']:6d} {row['Items in']:9d} "
+                  f"{row['Items out']:10d} {row['p50 ms']:8.3f} {row['p95 ms']:8.3f} "
+                  f"{row['p99 ms']:8.3f}")
+
     print()
     print(report.summary())
 

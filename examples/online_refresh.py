@@ -136,7 +136,7 @@ def main() -> None:
     )
     frozen_auc = auc_on_slice(frozen, encoder, state, requests, labels)
     refreshed_auc = auc_on_slice(deployed, encoder, state, requests, labels)
-    print(f"\nLate-window slice under the drifted distribution:")
+    print("\nLate-window slice under the drifted distribution:")
     print(f"  frozen   {v1.tag}: AUC {frozen_auc:.4f}")
     print(f"  refreshed v{store.latest_version(v1.name):04d}: AUC {refreshed_auc:.4f}"
           f"  (+{refreshed_auc - frozen_auc:.4f})")

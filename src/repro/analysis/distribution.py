@@ -10,7 +10,7 @@ rendered as text tables by the benchmarks.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict
 
 import numpy as np
 

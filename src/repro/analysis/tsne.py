@@ -15,8 +15,6 @@ environment is headless and scikit-learn is unavailable, we provide
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 from scipy.spatial.distance import cdist

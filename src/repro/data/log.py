@@ -10,7 +10,7 @@ behaviours only contain clicks that happened strictly before the request).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -194,7 +194,6 @@ class LogGenerator:
         world = self.world
         cfg = self.config
         rng = self.rng
-        num_periods = world.period_category_pop.shape[0]
         expected = cfg.warmup_events_per_user * world.user_activity / world.user_activity.mean()
         event_counts = rng.poisson(np.clip(expected, 0.0, 4.0 * cfg.warmup_events_per_user))
         for user in range(world.config.num_users):

@@ -8,7 +8,6 @@ from typing import Dict
 import numpy as np
 
 from ..features.schema import FeatureSchema
-from ..features.time_features import TimePeriod
 from .log import ImpressionLog
 
 __all__ = ["DatasetStatistics", "compute_statistics", "exposure_ctr_by_hour", "exposure_ctr_by_city"]

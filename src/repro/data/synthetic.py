@@ -7,8 +7,8 @@ schema, and returns train/test splits using the paper's last-day protocol.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from dataclasses import dataclass
+from typing import Optional
 
 from ..features.schema import FeatureSchema, eleme_schema
 from .encoding import EncodedDataset, encode_eleme_log

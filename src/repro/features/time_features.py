@@ -9,7 +9,7 @@ split.  This module owns that bucketing plus a few derived temporal features.
 from __future__ import annotations
 
 from enum import IntEnum
-from typing import Iterable, List
+from typing import List
 
 import numpy as np
 

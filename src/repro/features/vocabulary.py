@@ -7,7 +7,7 @@ padding convention of :class:`repro.nn.Embedding`.
 from __future__ import annotations
 
 import zlib
-from typing import Dict, Hashable, Iterable, List, Optional
+from typing import Dict, Hashable, Iterable, List
 
 import numpy as np
 

@@ -7,7 +7,6 @@ enough for millions of impressions.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 from scipy.stats import rankdata

@@ -8,7 +8,7 @@ contribute no AUC and are excluded from both numerator and denominator
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 

@@ -8,7 +8,6 @@ ideal DCG and are skipped, matching common practice.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

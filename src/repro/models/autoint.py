@@ -7,7 +7,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from .. import nn
-from ..features.schema import FeatureSchema, FieldName
+from ..features.schema import FeatureSchema
 from ..nn import Tensor
 from .base import BaseCTRModel, ModelConfig
 

@@ -15,7 +15,7 @@ generated from the spatiotemporal context ``h_c``:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
 import numpy as np
 

@@ -15,9 +15,8 @@ is a no-op at initialisation.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
-import numpy as np
 
 from ... import nn
 from ...features.schema import FieldName

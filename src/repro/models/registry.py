@@ -6,7 +6,7 @@ code never needs to import individual model classes.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Type
+from typing import Dict, List, Optional, Type
 
 from ..features.schema import FeatureSchema
 from .apg import APG

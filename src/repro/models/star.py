@@ -10,7 +10,7 @@ tea, dinner and night.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 import numpy as np
 

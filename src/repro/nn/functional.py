@@ -6,7 +6,7 @@ written in the style of the paper's equations (e.g. ``F.sigmoid(W @ x + b)``).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

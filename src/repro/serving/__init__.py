@@ -1,5 +1,7 @@
-"""Online serving simulation: recall, ranking, micro-batching, A/B testing,
-and the replay log feeding the continuous-refresh lifecycle."""
+"""Online serving simulation: a composable staged pipeline (recall, ranking,
+rerank, exposure) with per-stage telemetry and scenario routing, micro-batched
+scoring, A/B testing, and the replay log feeding the continuous-refresh
+lifecycle."""
 
 from .ab_test import ABTestConfig, ABTestResult, ABTestSimulator
 from .batching import BatchScorer, RankedRequest, ScoreRequest
@@ -11,6 +13,23 @@ from .loadgen import (
     run_load_test,
     sample_labeled_slice,
 )
+from .pipeline import (
+    CategoryDiversityRule,
+    ExposureLogStage,
+    PipelineConfig,
+    PipelineStage,
+    RankStage,
+    RecallStage,
+    RerankRule,
+    RerankStage,
+    ScenarioRouter,
+    ServeRequest,
+    ServeResponse,
+    ServingPipeline,
+    StageMetrics,
+    StageStats,
+    build_pipeline,
+)
 from .platform import PersonalizationPlatform, ServedImpression
 from .ranker import Ranker
 from .recall import (
@@ -21,6 +40,7 @@ from .recall import (
     PopularityChannel,
     RecallChannel,
     RecallFusion,
+    RecallStrategy,
     UserHistoryChannel,
     request_rng,
 )
@@ -40,10 +60,26 @@ __all__ = [
     "generate_burst",
     "run_load_test",
     "sample_labeled_slice",
+    "ServeRequest",
+    "ServeResponse",
+    "PipelineStage",
+    "RecallStage",
+    "RankStage",
+    "RerankRule",
+    "CategoryDiversityRule",
+    "RerankStage",
+    "ExposureLogStage",
+    "ServingPipeline",
+    "StageMetrics",
+    "StageStats",
+    "PipelineConfig",
+    "build_pipeline",
+    "ScenarioRouter",
     "PersonalizationPlatform",
     "ServedImpression",
     "Ranker",
     "RecallChannel",
+    "RecallStrategy",
     "request_rng",
     "LocationBasedRecall",
     "GeoGridChannel",

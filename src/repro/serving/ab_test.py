@@ -11,8 +11,8 @@ exposure-ratio per time-period and city (Fig. 12).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -20,10 +20,11 @@ from ..data.world import SyntheticWorld
 from ..features.time_features import TimePeriod
 from ..metrics.ctr import CTRCounter, relative_improvement
 from ..models.base import BaseCTRModel
-from .batching import ScoreRequest
 from .encoder import OnlineRequestEncoder
+from .pipeline import PipelineConfig, ScenarioRouter, ServeResponse, build_pipeline
 from .ranker import Ranker, hot_swap
 from .recall import MultiChannelRecall
+from .recall.base import RecallStrategy
 from .state import ServingState
 
 __all__ = ["ABTestConfig", "ABTestResult", "ABTestSimulator"]
@@ -150,7 +151,7 @@ class ABTestSimulator:
         encoder: OnlineRequestEncoder,
         state: ServingState,
         config: Optional[ABTestConfig] = None,
-        recall=None,
+        recall: Optional[RecallStrategy] = None,
     ) -> None:
         self.world = world
         self.config = config or ABTestConfig()
@@ -168,6 +169,30 @@ class ABTestSimulator:
         #: paper's location-based-service setup.
         self.recall = recall if recall is not None else MultiChannelRecall.build(
             world, state, pool_size=self.config.recall_size, seed=self.config.seed + 1,
+        )
+        #: Each bucket is one pipeline variant over the shared recall stage;
+        #: the experiment is "same pipeline graph, different rank stage" —
+        #: which is exactly what a model A/B test should be.  The router's
+        #: classifier is the deterministic user-hash bucketing, so scenario
+        #: dispatch and experiment bucketing are the same mechanism.
+        self.router = ScenarioRouter(
+            {
+                name: build_pipeline(
+                    world, ranker.model, encoder, state,
+                    PipelineConfig(
+                        scenario=name,
+                        exposure_size=self.config.exposure_size,
+                        order_probability=self.config.order_probability,
+                    ),
+                    recall=self.recall, ranker=ranker,
+                )
+                for name, ranker in (
+                    ("control", self.control_ranker),
+                    ("treatment", self.treatment_ranker),
+                )
+            },
+            default="control",
+            classifier=lambda context: self._bucket_of(context.user_index),
         )
         self.rng = np.random.default_rng(self.config.seed)
 
@@ -214,8 +239,10 @@ class ABTestSimulator:
         control_by_city = CTRCounter()
         treatment_by_city = CTRCounter()
 
-        def account(bucket, context, exposed, day_control, day_treatment):
+        def account(response: ServeResponse, day_control, day_treatment):
             """Draw ground-truth clicks for one exposure and book every counter."""
+            context = response.context
+            exposed = response.items
             display_positions = np.arange(len(exposed))
             probabilities = self.world.click_probabilities(
                 context.user_index,
@@ -230,7 +257,7 @@ class ABTestSimulator:
             exposures = int(len(exposed))
             click_count = int(clicks.sum())
 
-            if bucket == "treatment":
+            if response.scenario == "treatment":
                 day_treatment.update(exposures, click_count)
                 treatment_total.update(exposures, click_count)
                 treatment_by_period.update(exposures, click_count, group=context.time_period)
@@ -241,28 +268,34 @@ class ABTestSimulator:
                 control_by_period.update(exposures, click_count, group=context.time_period)
                 control_by_city.update(exposures, click_count, group=context.city)
 
-            self.state.record_clicks(
-                context, exposed, clicks,
-                order_probability=cfg.order_probability, rng=self.rng,
-            )
+            # Feedback flows through the serving pipeline's exposure stage,
+            # so replay logging and order simulation live in one place.
+            self.router.feedback(response, clicks, rng=self.rng)
 
         for day_offset in range(cfg.num_days):
             day = start_day + day_offset
+            # The pre-pipeline loop read the config on every request; keep
+            # that contract by syncing the mutable knobs into the bucket
+            # pipelines' stages each day (a ``config`` mutated between runs
+            # or from an ``on_day_end`` hook still takes effect).
+            for pipeline in self.router.pipelines.values():
+                pipeline.stage("rank").exposure_size = cfg.exposure_size
+                pipeline.stage("exposure").order_probability = cfg.order_probability
             day_control = CTRCounter()
             day_treatment = CTRCounter()
             if cfg.micro_batch_size <= 1:
                 # Strictly sequential: each request sees all earlier feedback.
                 for _ in range(cfg.requests_per_day):
                     context = self.world.sample_request_context(day, self.rng)
-                    bucket = self._bucket_of(context.user_index)
-                    ranker = self.treatment_ranker if bucket == "treatment" else self.control_ranker
-                    candidates = self.recall.recall(context)
-                    exposed, _ = ranker.rank(context, candidates, self.state, cfg.exposure_size)
-                    account(bucket, context, exposed, day_control, day_treatment)
+                    response = self.router.run(context)
+                    account(response, day_control, day_treatment)
             else:
                 # High-throughput mode: requests inside one window are
-                # concurrent — ranked together off the same state snapshot,
-                # with clicks fed back once the window is served.
+                # concurrent — the router groups the window per bucket and
+                # runs each group through its pipeline's micro-batched path
+                # off the same state snapshot, with clicks fed back once the
+                # window is served.  Per-request deterministic recall makes
+                # the grouping order irrelevant to the served pools.
                 remaining = cfg.requests_per_day
                 while remaining > 0:
                     window = min(cfg.micro_batch_size, remaining)
@@ -271,24 +304,9 @@ class ABTestSimulator:
                         self.world.sample_request_context(day, self.rng)
                         for _ in range(window)
                     ]
-                    buckets = [self._bucket_of(context.user_index) for context in contexts]
-                    requests = [
-                        ScoreRequest(context, self.recall.recall(context))
-                        for context in contexts
-                    ]
-                    ranked: dict = {}
-                    for name, ranker in (("control", self.control_ranker),
-                                         ("treatment", self.treatment_ranker)):
-                        member_ids = [i for i, bucket in enumerate(buckets) if bucket == name]
-                        if not member_ids:
-                            continue
-                        results = ranker.rank_many(
-                            [requests[i] for i in member_ids], self.state, cfg.exposure_size
-                        )
-                        ranked.update(zip(member_ids, results))
-                    for index in range(window):
-                        account(buckets[index], contexts[index], ranked[index].items,
-                                day_control, day_treatment)
+                    responses = self.router.run_many(contexts)
+                    for response in responses:
+                        account(response, day_control, day_treatment)
 
             daily.append(
                 {

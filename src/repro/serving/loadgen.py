@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -37,7 +37,10 @@ from ..metrics.auc import auc
 from ..models.base import BaseCTRModel
 from .batching import BatchScorer, ScoreRequest
 from .encoder import OnlineRequestEncoder
+from .pipeline import RankStage, RecallStage, ServingPipeline, StageMetrics
+from .ranker import Ranker
 from .recall import LocationBasedRecall
+from .recall.base import RecallStrategy
 from .state import ServingState
 
 __all__ = [
@@ -60,6 +63,11 @@ class LoadTestReport:
     max_abs_score_diff: float
     micro_batches_run: int
     cache_hit_rate: float
+    #: Telemetry of the pipeline replay pass (recall + rank stage latencies),
+    #: populated by :func:`run_load_test`; ``None`` when the pass was skipped.
+    stage_metrics: Optional[StageMetrics] = None
+    pipeline_seconds: float = 0.0
+    pipeline_window: int = 0
 
     @property
     def sequential_rps(self) -> float:
@@ -72,6 +80,23 @@ class LoadTestReport:
     @property
     def speedup(self) -> float:
         return self.sequential_seconds / max(self.batched_seconds, 1e-9)
+
+    # ------------------------------------------------------------------ #
+    def stage_percentiles(self) -> Dict[str, Dict[str, float]]:
+        """Per-stage p50/p95/p99 call latency in milliseconds."""
+        if self.stage_metrics is None:
+            return {}
+        return {
+            stage: {
+                key: 1e3 * value
+                for key, value in self.stage_metrics.latency_percentiles(stage).items()
+            }
+            for stage in self.stage_metrics.stages()
+        }
+
+    def stage_rows(self) -> List[Dict[str, object]]:
+        """Rows for the per-stage latency table of the report."""
+        return [] if self.stage_metrics is None else self.stage_metrics.rows()
 
     def rows(self) -> List[Dict[str, object]]:
         """Rows for the benchmark's text table."""
@@ -93,11 +118,22 @@ class LoadTestReport:
         ]
 
     def summary(self) -> str:
-        return (
+        text = (
             f"speedup {self.speedup:.2f}x, "
             f"score parity max|diff| = {self.max_abs_score_diff:.2e}, "
             f"feature-cache hit rate {self.cache_hit_rate:.1%}"
         )
+        percentiles = self.stage_percentiles()
+        if percentiles:
+            stages = ", ".join(
+                f"{stage} p95 {values['p95']:.2f}ms"
+                for stage, values in percentiles.items()
+            )
+            text += (
+                f"; pipeline stage latencies over {self.pipeline_window}-request "
+                f"windows: {stages}"
+            )
+        return text
 
 
 def generate_burst(
@@ -106,7 +142,7 @@ def generate_burst(
     recall_size: int = 30,
     day: int = 100,
     seed: int = 11,
-    recall=None,
+    recall: Optional[RecallStrategy] = None,
 ) -> List[ScoreRequest]:
     """Sample a burst of concurrent requests with their recalled candidates.
 
@@ -138,10 +174,23 @@ def run_load_test(
     max_batch_rows: int = 2048,
     day: int = 100,
     seed: int = 11,
+    exposure_size: int = 10,
+    pipeline_window: int = 64,
+    recall: Optional[RecallStrategy] = None,
 ) -> LoadTestReport:
-    """Time the per-request loop against the batched engine on one burst."""
+    """Time the per-request loop against the batched engine on one burst.
+
+    A third pass replays the same contexts through a
+    :class:`repro.serving.pipeline.ServingPipeline` (recall → rank) in
+    ``pipeline_window``-sized concurrent windows, purely to collect per-stage
+    latency telemetry (`StageMetrics`) — per-request deterministic recall
+    guarantees the pipeline scores the exact same pools as the two timed
+    passes.  Set ``pipeline_window=0`` to skip it.
+    """
+    if recall is None:
+        recall = LocationBasedRecall(world, pool_size=recall_size, seed=seed + 1)
     requests = generate_burst(world, num_requests, recall_size=recall_size,
-                              day=day, seed=seed)
+                              day=day, seed=seed, recall=recall)
     total_rows = int(sum(len(request) for request in requests))
 
     # Both passes measure from a cold cache; the caller's cache-enabled
@@ -172,6 +221,28 @@ def run_load_test(
         batched_scores = scorer.score_many(requests, state)
         batched_seconds = time.perf_counter() - start
         hit_rate = state.features.hit_rate
+
+        # Telemetry pass: the same burst through the staged pipeline, in
+        # concurrent windows, recording per-stage latency and item counts.
+        stage_metrics: Optional[StageMetrics] = None
+        pipeline_seconds = 0.0
+        if pipeline_window > 0:
+            stage_metrics = StageMetrics()
+            pipeline = ServingPipeline(
+                [
+                    RecallStage(recall, pool_size=recall_size),
+                    RankStage(Ranker(model, encoder, max_batch_rows=max_batch_rows),
+                              exposure_size),
+                ],
+                state,
+                metrics=stage_metrics,
+                name="loadtest",
+            )
+            contexts = [request.context for request in requests]
+            start = time.perf_counter()
+            for begin in range(0, len(contexts), pipeline_window):
+                pipeline.run_many(contexts[begin:begin + pipeline_window])
+            pipeline_seconds = time.perf_counter() - start
     finally:
         state.features.enabled = was_enabled
 
@@ -188,6 +259,9 @@ def run_load_test(
         max_abs_score_diff=max_diff,
         micro_batches_run=scorer.batches_run,
         cache_hit_rate=hit_rate,
+        stage_metrics=stage_metrics,
+        pipeline_seconds=pipeline_seconds,
+        pipeline_window=pipeline_window,
     )
 
 

@@ -1,10 +1,12 @@
-"""End-to-end serving pipeline (the paper's Fig. 13 deployment diagram).
+"""End-to-end serving platform (the paper's Fig. 13 deployment diagram).
 
-``PersonalizationPlatform`` plays the role of TPP: on a user request it asks
-the feature server (our :class:`ServingState` + :class:`OnlineRequestEncoder`,
-standing in for ABFS) for user features and behaviours, recalls candidates
-with the location-based service, sends everything to the ranker (RTP) and
-returns the top-k items for exposure.
+``PersonalizationPlatform`` plays the role of TPP — but since the pipeline
+redesign it is a *thin facade* over a :class:`repro.serving.pipeline.ServingPipeline`:
+the staged flow (recall → feature assembly → real-time prediction → exposure)
+lives in the pipeline's stage graph, and the platform only keeps the
+backward-compatible surface (``serve``/``serve_many``/``feedback``/
+``swap_model``) plus the model-lifecycle wiring.  Output is bitwise-identical
+to the pre-pipeline monolith — pinned by ``tests/serving/test_pipeline.py``.
 """
 
 from __future__ import annotations
@@ -16,10 +18,11 @@ import numpy as np
 
 from ..data.world import RequestContext, SyntheticWorld
 from ..models.base import BaseCTRModel
-from .batching import ScoreRequest
 from .encoder import OnlineRequestEncoder
+from .pipeline import PipelineConfig, ServeResponse, StageMetrics, build_pipeline
 from .ranker import Ranker, hot_swap
 from .recall import MultiChannelRecall
+from .recall.base import RecallStrategy
 from .state import ServingState
 
 __all__ = ["ServedImpression", "PersonalizationPlatform"]
@@ -38,7 +41,7 @@ class ServedImpression:
 
 
 class PersonalizationPlatform:
-    """TPP analog orchestrating recall -> feature assembly -> ranking."""
+    """TPP analog: a backward-compatible facade over the serving pipeline."""
 
     def __init__(
         self,
@@ -49,24 +52,46 @@ class PersonalizationPlatform:
         recall_size: int = 30,
         exposure_size: int = 10,
         seed: int = 3,
-        recall=None,
+        recall: Optional[RecallStrategy] = None,
     ) -> None:
         self.world = world
         self.state = state
         self.encoder = encoder
         self.ranker = Ranker(model, encoder)
-        #: The Recall stage.  Defaults to the fused multi-channel subsystem
-        #: (geo grid + popularity + user history + embedding-ANN over the
-        #: serving model's item vectors); pass ``recall=`` — e.g. the seed
-        #: :class:`repro.serving.recall.LocationBasedRecall` — to pin a
-        #: different retrieval strategy (benchmarks reproducing the paper's
-        #: location-based-service setup do this).
+        #: The Recall stage's strategy.  Defaults to the fused multi-channel
+        #: subsystem (geo grid + popularity + user history + embedding-ANN
+        #: over the serving model's item vectors); pass ``recall=`` — e.g.
+        #: the seed :class:`repro.serving.recall.LocationBasedRecall` — to
+        #: pin a different retrieval strategy (benchmarks reproducing the
+        #: paper's location-based-service setup do this).
         self.recall = recall if recall is not None else MultiChannelRecall.build(
             world, state, encoder=encoder, model=model,
             pool_size=recall_size, seed=seed,
         )
-        self.exposure_size = exposure_size
+        #: The stage graph every request flows through; consumers that want
+        #: telemetry, rerank rules or scenario variants use it directly.
+        self.pipeline = build_pipeline(
+            world, model, encoder, state,
+            PipelineConfig(scenario="platform", exposure_size=exposure_size),
+            recall=self.recall, ranker=self.ranker,
+        )
+        self._rank_stage = self.pipeline.stage("rank")
 
+    # ------------------------------------------------------------------ #
+    @property
+    def exposure_size(self) -> int:
+        return self._rank_stage.exposure_size
+
+    @exposure_size.setter
+    def exposure_size(self, value: int) -> None:
+        self._rank_stage.exposure_size = value
+
+    @property
+    def metrics(self) -> StageMetrics:
+        """Per-stage latency / candidate-count telemetry of the pipeline."""
+        return self.pipeline.metrics
+
+    # ------------------------------------------------------------------ #
     def swap_model(self, model: BaseCTRModel) -> BaseCTRModel:
         """Hot-swap the ranking model without dropping the feature cache.
 
@@ -92,29 +117,34 @@ class PersonalizationPlatform:
             refresh(model, self.encoder)
         return previous
 
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _impression(response: ServeResponse) -> ServedImpression:
+        return ServedImpression(
+            context=response.context, items=response.items, scores=response.scores
+        )
+
     def serve(self, context: RequestContext) -> ServedImpression:
         """Handle one request end-to-end and return the exposed items."""
-        candidates = self.recall.recall(context)
-        items, scores = self.ranker.rank(context, candidates, self.state, self.exposure_size)
-        return ServedImpression(context=context, items=items, scores=scores)
+        return self._impression(self.pipeline.run(context))
 
     def serve_many(self, contexts: List[RequestContext]) -> List[ServedImpression]:
         """Handle a burst of concurrent requests through the batched engine.
 
-        Recall still runs per request — it is cheap, and every channel draws
-        its randomness from a per-request generator, so the pools here are
-        identical to what sequential :meth:`serve` calls would recall — while
-        ranking packs all requests into micro-batches so the model runs one
-        forward pass per batch instead of one per request.
+        Same stage graph as :meth:`serve` — the rank stage packs all requests
+        into micro-batches so the model runs one forward pass per batch, and
+        per-request deterministic recall keeps the pools identical to what
+        sequential :meth:`serve` calls would produce.
         """
-        requests = [ScoreRequest(context, self.recall.recall(context)) for context in contexts]
-        ranked = self.ranker.rank_many(requests, self.state, self.exposure_size)
-        return [
-            ServedImpression(context=result.context, items=result.items, scores=result.scores)
-            for result in ranked
-        ]
+        return [self._impression(r) for r in self.pipeline.run_many(contexts)]
 
     def feedback(self, impression: ServedImpression, clicks: np.ndarray,
                  rng: Optional[np.random.Generator] = None) -> None:
-        """Report observed clicks back so user/item state stays current."""
-        self.state.record_clicks(impression.context, impression.items, clicks, rng=rng)
+        """Report observed clicks back so user/item state stays current.
+
+        Routed through the pipeline's :class:`ExposureLogStage`, which
+        reaches :meth:`repro.serving.state.ServingState.record_clicks` — and
+        therefore any attached :class:`repro.serving.replay.ReplayBuffer` —
+        exactly as the pre-pipeline direct call did.
+        """
+        self.pipeline.feedback(impression, clicks, rng=rng)

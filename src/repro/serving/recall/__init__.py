@@ -7,7 +7,7 @@ benchmark-parity escape hatch.  See :mod:`repro.serving.recall.base` for the
 channel contract and :mod:`repro.serving.recall.fusion` for the blend policy.
 """
 
-from .base import RecallChannel, request_rng
+from .base import RecallChannel, RecallStrategy, request_rng
 from .channels import (
     EmbeddingANNChannel,
     GeoGridChannel,
@@ -19,6 +19,7 @@ from .fusion import MultiChannelRecall, RecallFusion
 
 __all__ = [
     "RecallChannel",
+    "RecallStrategy",
     "request_rng",
     "EmbeddingANNChannel",
     "GeoGridChannel",

@@ -18,13 +18,34 @@ candidate sets.
 from __future__ import annotations
 
 import zlib
+from typing import Optional, Protocol, runtime_checkable
 
 import numpy as np
 
 from ...data.world import RequestContext
 from ..state import ServingState
 
-__all__ = ["RecallChannel", "request_rng"]
+__all__ = ["RecallChannel", "RecallStrategy", "request_rng"]
+
+
+@runtime_checkable
+class RecallStrategy(Protocol):
+    """The recall seam every serving consumer depends on.
+
+    A strategy turns one request into a ranked candidate pool:
+    :class:`repro.serving.recall.fusion.MultiChannelRecall` (the fused
+    multi-channel stage), the seed proximity sampler
+    :class:`repro.serving.recall.channels.LocationBasedRecall`, and any
+    user-supplied retrieval all satisfy it.  ``pool_size=None`` means "use
+    the strategy's own configured pool size".  Implementations must be pure
+    with respect to (request, serving state) — randomness comes from
+    :func:`request_rng`, never from shared mutable generators — so batched
+    and sequential serving recall identical pools.
+    """
+
+    def recall(
+        self, context: RequestContext, pool_size: Optional[int] = None
+    ) -> np.ndarray: ...
 
 
 def request_rng(seed: int, context: RequestContext, salt: str = "") -> np.random.Generator:

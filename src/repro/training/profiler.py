@@ -10,7 +10,6 @@ dynamic-parameter method carries — is captured by the accounting.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Dict, Optional
 

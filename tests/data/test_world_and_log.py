@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.data import LogConfig, LogGenerator, SyntheticWorld, WorldConfig
-from repro.features import TimePeriod, hour_to_time_period
+from repro.features import hour_to_time_period
 
 
 @pytest.fixture(scope="module")
@@ -36,7 +36,6 @@ class TestWorld:
         assert activity_city0 > activity_last
 
     def test_click_logits_shape_and_determinism(self, small_world):
-        rng = np.random.default_rng(0)
         items = np.arange(10)
         logits_a = small_world.click_logits(0, items, 12, 0, (30.0, 110.0), rng=np.random.default_rng(1))
         logits_b = small_world.click_logits(0, items, 12, 0, (30.0, 110.0), rng=np.random.default_rng(1))

@@ -5,9 +5,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro import nn
 from repro.features import FieldName
-from repro.models import BASM, ModelConfig, create_model
+from repro.models import create_model
 from repro.models.basm import (
     FusionLayer,
     SpatiotemporalAdaptiveBiasTower,

@@ -12,7 +12,6 @@ error criterion; every op below is smooth at the probed points.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro import nn
 from repro.nn import Tensor

@@ -9,9 +9,8 @@ run a short A/B simulation.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
-from repro.data import DataLoader, LogGenerator
+from repro.data import LogGenerator
 from repro.metrics import auc
 from repro.models import create_model
 from repro.serving import ABTestConfig, ABTestSimulator, OnlineRequestEncoder, ServingState

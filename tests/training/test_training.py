@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.models import ModelConfig, create_model
+from repro.models import create_model
 from repro.training import (
     TrainConfig,
     Trainer,
