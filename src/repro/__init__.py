@@ -17,7 +17,7 @@ the classification tower (StABT).  This package contains:
 
 from . import analysis, data, features, metrics, models, nn, serving, training
 
-__version__ = "0.4.0"
+__version__ = "0.5.0"
 
 __all__ = [
     "analysis",

@@ -14,6 +14,7 @@ the layer code can stay close to the paper's equations.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -22,30 +23,32 @@ __all__ = ["Tensor", "no_grad", "is_grad_enabled"]
 
 ArrayLike = Union["Tensor", np.ndarray, float, int, Sequence]
 
-_GRAD_ENABLED = True
+# Per-thread, so a cluster worker serving inside ``no_grad`` cannot switch
+# graph recording off (or back on) under a concurrent training thread.
+_GRAD_STATE = threading.local()
 
 
 class no_grad:
     """Context manager that disables gradient tracking.
 
     Mirrors ``torch.no_grad()``: inside the block no backward graph is built,
-    which makes pure inference (evaluation, serving) cheaper.
+    which makes pure inference (evaluation, serving) cheaper.  The flag is
+    thread-local, exactly like torch's: entering the block on one thread
+    never affects a forward pass running on another.
     """
 
     def __enter__(self) -> "no_grad":
-        global _GRAD_ENABLED
-        self._previous = _GRAD_ENABLED
-        _GRAD_ENABLED = False
+        self._previous = is_grad_enabled()
+        _GRAD_STATE.enabled = False
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        global _GRAD_ENABLED
-        _GRAD_ENABLED = self._previous
+        _GRAD_STATE.enabled = self._previous
 
 
 def is_grad_enabled() -> bool:
-    """Return whether operations currently record a backward graph."""
-    return _GRAD_ENABLED
+    """Return whether operations on this thread record a backward graph."""
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -89,7 +92,7 @@ class Tensor:
             data = data.data
         self.data = np.asarray(data, dtype=np.float32)
         self.grad: Optional[np.ndarray] = None
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad) and is_grad_enabled()
         self._backward: Callable[[], None] = lambda: None
         self._prev: Tuple[Tensor, ...] = _prev if self.requires_grad or _prev else ()
         self.name = name
@@ -147,7 +150,7 @@ class Tensor:
         parents: Tuple["Tensor", ...],
         backward: Callable[["Tensor"], None],
     ) -> "Tensor":
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires, _prev=parents if requires else ())
         if requires:
             out._backward = lambda: backward(out)
@@ -467,7 +470,7 @@ class Tensor:
                 index[axis] = slice(start, stop)
                 tensor._accumulate(out.grad[tuple(index)])
 
-        requires = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
+        requires = is_grad_enabled() and any(t.requires_grad for t in tensors)
         out = Tensor(data, requires_grad=requires, _prev=tuple(tensors) if requires else ())
         if requires:
             out._backward = lambda: backward(out)
@@ -483,7 +486,7 @@ class Tensor:
             for tensor, grad in zip(tensors, grads):
                 tensor._accumulate(np.squeeze(grad, axis=axis))
 
-        requires = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
+        requires = is_grad_enabled() and any(t.requires_grad for t in tensors)
         out = Tensor(data, requires_grad=requires, _prev=tuple(tensors) if requires else ())
         if requires:
             out._backward = lambda: backward(out)
@@ -499,7 +502,7 @@ class Tensor:
             a._accumulate(out.grad * condition)
             b._accumulate(out.grad * (~condition))
 
-        requires = _GRAD_ENABLED and (a.requires_grad or b.requires_grad)
+        requires = is_grad_enabled() and (a.requires_grad or b.requires_grad)
         out = Tensor(data, requires_grad=requires, _prev=(a, b) if requires else ())
         if requires:
             out._backward = lambda: backward(out)

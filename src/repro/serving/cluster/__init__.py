@@ -1,0 +1,40 @@
+"""Sharded multi-worker serving cluster (the scale-out layer over the
+pipeline): consistent-hash user→shard routing, per-worker coalescing request
+queues with admission control, a versioned-key TTL response cache, and
+shard-by-shard rolling deploys with health gates — cluster output stays
+byte-identical to the single-pipeline baseline."""
+
+from .cache import ResponseCache, context_hash
+from .deploy import DeployReport, RollingDeploy, RollingDeployError, ShardDeployResult
+from .frontend import ClusterConfig, ClusterFrontend, build_cluster
+from .loadgen import (
+    BaselineRun,
+    ClusterLoadReport,
+    run_cluster_burst,
+    run_cluster_load_test,
+    run_single_worker_baseline,
+    sample_burst_contexts,
+)
+from .sharding import ConsistentHashRing
+from .worker import ClusterOverloadError, ClusterWorker
+
+__all__ = [
+    "BaselineRun",
+    "ClusterConfig",
+    "ClusterFrontend",
+    "ClusterLoadReport",
+    "ClusterOverloadError",
+    "ClusterWorker",
+    "ConsistentHashRing",
+    "DeployReport",
+    "ResponseCache",
+    "RollingDeploy",
+    "RollingDeployError",
+    "ShardDeployResult",
+    "build_cluster",
+    "context_hash",
+    "run_cluster_burst",
+    "run_cluster_load_test",
+    "run_single_worker_baseline",
+    "sample_burst_contexts",
+]

@@ -1,0 +1,282 @@
+"""Concurrent open-loop burst driver for the serving cluster.
+
+The single-pipeline load generator (:mod:`repro.serving.loadgen`) replays a
+burst through one engine on one thread.  This module is its cluster twin:
+``run_cluster_load_test`` samples the same kind of synthetic-world burst,
+fires it at a :class:`ClusterFrontend` from several client threads in open
+loop (every request is submitted before any response is awaited, so arrivals
+coalesce into worker micro-batches), and reports cluster throughput, cache
+behaviour, admission-control rejections, and the cluster-wide merged
+per-stage telemetry.
+
+``run_single_worker_baseline`` times the reference the scaling bench
+compares against: one worker serving the identical burst one request at a
+time (the un-coalesced per-request path — what a replica without the
+cluster's coalescing frontend would do).  Because serving never mutates
+state and recall is per-request deterministic, the baseline responses are
+also the byte-parity oracle for the cluster's output.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ...data.world import RequestContext, SyntheticWorld
+from ...models.base import BaseCTRModel
+from ..encoder import OnlineRequestEncoder
+from ..pipeline import PipelineConfig, ServeResponse, StageMetrics, build_pipeline
+from ..state import ServingState
+from .frontend import ClusterConfig, ClusterFrontend, build_cluster
+
+__all__ = [
+    "BaselineRun",
+    "ClusterLoadReport",
+    "run_cluster_burst",
+    "run_cluster_load_test",
+    "run_single_worker_baseline",
+    "sample_burst_contexts",
+]
+
+
+def sample_burst_contexts(
+    world: SyntheticWorld, num_requests: int, day: int = 100, seed: int = 11
+) -> List[RequestContext]:
+    """The deterministic request burst shared by baseline and cluster passes."""
+    rng = np.random.default_rng(seed)
+    return [world.sample_request_context(day, rng) for _ in range(num_requests)]
+
+
+@dataclass
+class BaselineRun:
+    """Timing + responses of the single-worker per-request reference pass."""
+
+    seconds: float
+    responses: List[ServeResponse]
+
+    @property
+    def rps(self) -> float:
+        return len(self.responses) / max(self.seconds, 1e-9)
+
+
+@dataclass
+class ClusterLoadReport:
+    """Throughput, coalescing, cache and telemetry numbers for one burst."""
+
+    num_requests: int
+    num_workers: int
+    seconds: float
+    batches_run: int
+    requests_served: int
+    rejected: int
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: Cluster-wide merged per-worker accumulators (`StageMetrics.merge`).
+    stage_metrics: Optional[StageMetrics] = None
+    per_worker: List[Dict[str, object]] = field(default_factory=list)
+    baseline_seconds: float = 0.0
+    #: Requests the baseline pass served (one burst — independent of
+    #: ``repeat_bursts``, so the throughput ratio compares like with like).
+    baseline_requests: int = 0
+    #: Max |score difference| vs the single-pipeline baseline (0.0 when the
+    #: parity comparison ran and matched; only meaningful with a baseline).
+    max_abs_score_diff: float = 0.0
+    items_mismatches: int = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def rps(self) -> float:
+        return self.num_requests / max(self.seconds, 1e-9)
+
+    @property
+    def baseline_rps(self) -> float:
+        return self.baseline_requests / max(self.baseline_seconds, 1e-9)
+
+    @property
+    def speedup(self) -> float:
+        """Cluster throughput over the single-worker per-request baseline."""
+        return self.rps / max(self.baseline_rps, 1e-9)
+
+    @property
+    def mean_batch(self) -> float:
+        return self.requests_served / max(self.batches_run, 1)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    # ------------------------------------------------------------------ #
+    def stage_percentiles(self) -> Dict[str, Dict[str, float]]:
+        """Merged cluster-wide per-stage p50/p95/p99 latency (milliseconds)."""
+        if self.stage_metrics is None:
+            return {}
+        return {
+            stage: {
+                key: 1e3 * value
+                for key, value in self.stage_metrics.latency_percentiles(stage).items()
+            }
+            for stage in self.stage_metrics.stages()
+        }
+
+    def stage_rows(self) -> List[Dict[str, object]]:
+        return [] if self.stage_metrics is None else self.stage_metrics.rows()
+
+    def summary(self) -> str:
+        text = (
+            f"{self.num_workers}-worker cluster: {self.rps:.1f} req/s "
+            f"(mean micro-batch {self.mean_batch:.1f}, {self.rejected} rejected)"
+        )
+        if self.baseline_seconds > 0:
+            text += (
+                f"; {self.speedup:.2f}x over the single-worker per-request "
+                f"baseline ({self.baseline_rps:.1f} req/s)"
+            )
+        if self.cache_hits + self.cache_misses:
+            text += f"; response-cache hit rate {self.cache_hit_rate:.1%}"
+        return text
+
+
+# ---------------------------------------------------------------------- #
+def run_cluster_burst(
+    frontend: ClusterFrontend,
+    requests: Sequence[RequestContext],
+    client_threads: int = 8,
+    timeout: float = 300.0,
+) -> tuple:
+    """Fire one burst open-loop from N client threads; (responses, seconds).
+
+    Requests are split round-robin across client threads; each thread
+    submits its share without waiting for responses (a full shard queue
+    blocks that thread — backpressure, not loss), then every future is
+    gathered.  Responses come back in input order.
+    """
+    if client_threads <= 0:
+        raise ValueError("client_threads must be positive")
+    futures: List[Optional[object]] = [None] * len(requests)
+    errors: List[BaseException] = []
+
+    def submit_share(offset: int) -> None:
+        try:
+            for index in range(offset, len(requests), client_threads):
+                futures[index] = frontend.submit(requests[index])
+        except BaseException as error:  # noqa: BLE001 - surfaced to the caller
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=submit_share, args=(offset,), daemon=True)
+        for offset in range(client_threads)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+    responses = [future.result(timeout=timeout) for future in futures]
+    elapsed = time.perf_counter() - start
+    return responses, elapsed
+
+
+def run_single_worker_baseline(
+    world: SyntheticWorld,
+    model: BaseCTRModel,
+    encoder: OnlineRequestEncoder,
+    state: ServingState,
+    contexts: Sequence[RequestContext],
+    pipeline_config: Optional[PipelineConfig] = None,
+) -> BaselineRun:
+    """One worker, one request at a time: the un-coalesced reference pass."""
+    pipeline = build_pipeline(
+        world, model, encoder, state, pipeline_config or PipelineConfig()
+    )
+    state.features.clear()
+    start = time.perf_counter()
+    responses = [pipeline.run(context) for context in contexts]
+    return BaselineRun(seconds=time.perf_counter() - start, responses=responses)
+
+
+def run_cluster_load_test(
+    world: SyntheticWorld,
+    model: BaseCTRModel,
+    encoder: OnlineRequestEncoder,
+    state: ServingState,
+    num_requests: int = 1000,
+    num_workers: int = 4,
+    cluster_config: Optional[ClusterConfig] = None,
+    pipeline_config: Optional[PipelineConfig] = None,
+    client_threads: int = 8,
+    day: int = 100,
+    seed: int = 11,
+    repeat_bursts: int = 1,
+    baseline: Optional[BaselineRun] = None,
+) -> ClusterLoadReport:
+    """Drive one cluster configuration with an open-loop burst.
+
+    ``repeat_bursts`` replays the identical burst again (the response-cache
+    sweep: with the cache enabled the repeat passes hit instead of serving).
+    When ``baseline`` is given, the report carries the speedup against it
+    and the byte-parity comparison of the *first* pass's responses.
+    The shared feature cache is cleared before timing so every call measures
+    from the same cold start.
+    """
+    if repeat_bursts <= 0:
+        raise ValueError("repeat_bursts must be positive")
+    config = cluster_config or ClusterConfig()
+    config = ClusterConfig(**{**config.__dict__, "num_workers": num_workers})
+    contexts = sample_burst_contexts(world, num_requests, day=day, seed=seed)
+    frontend = build_cluster(
+        world, model, encoder, state, config=config, pipeline_config=pipeline_config
+    )
+    state.features.clear()
+    try:
+        total_seconds = 0.0
+        first_responses: List[ServeResponse] = []
+        for burst in range(repeat_bursts):
+            responses, seconds = run_cluster_burst(
+                frontend, contexts, client_threads=client_threads
+            )
+            total_seconds += seconds
+            if burst == 0:
+                first_responses = responses
+        stats = frontend.stats()
+        cache_stats = stats.get("cache", {})
+        report = ClusterLoadReport(
+            num_requests=num_requests * repeat_bursts,
+            num_workers=num_workers,
+            seconds=total_seconds,
+            batches_run=int(stats["batches_run"]),
+            requests_served=int(stats["requests_served"]),
+            rejected=int(stats["rejected"]),
+            cache_hits=int(cache_stats.get("hits", 0)),
+            cache_misses=int(cache_stats.get("misses", 0)),
+            stage_metrics=frontend.merged_metrics(),
+            per_worker=frontend.worker_stats(),
+        )
+    finally:
+        frontend.close()
+    if baseline is not None:
+        report.baseline_seconds = baseline.seconds
+        report.baseline_requests = len(baseline.responses)
+        max_diff = 0.0
+        mismatches = 0
+        empty = np.zeros(0, dtype=np.float32)
+        for mine, reference in zip(first_responses, baseline.responses):
+            if not np.array_equal(mine.items, reference.items):
+                mismatches += 1
+            mine_scores = mine.scores if mine.scores is not None else empty
+            ref_scores = reference.scores if reference.scores is not None else empty
+            if len(mine_scores) != len(ref_scores):
+                mismatches += 1
+            elif len(mine_scores):
+                max_diff = max(
+                    max_diff, float(np.max(np.abs(mine_scores - ref_scores)))
+                )
+        report.max_abs_score_diff = max_diff
+        report.items_mismatches = mismatches
+    return report

@@ -1,0 +1,270 @@
+"""One serving-cluster worker: a coalescing request queue over a pipeline.
+
+A :class:`ClusterWorker` owns one serving engine — a
+:class:`repro.serving.pipeline.ServingPipeline` or a
+:class:`repro.serving.pipeline.ScenarioRouter` of per-scenario variants —
+and a bounded request queue drained by a dedicated dispatcher thread.  The
+dispatcher *coalesces*: it blocks for the first pending request, then keeps
+gathering until either ``max_batch`` requests are in hand or the
+``max_wait_ms`` deadline passes, and serves the whole micro-batch through
+one ``run_many`` call.  Under load this turns per-request arrivals into the
+batched scoring path (one model forward per micro-batch — the engine-level
+throughput win); when idle, a lone request waits at most ``max_wait_ms``.
+
+Admission control is the bounded queue: a non-blocking submit against a
+full queue raises :class:`ClusterOverloadError` instead of letting latency
+grow without bound (the frontend surfaces the rejection count), while a
+blocking submit applies backpressure to the producing client thread.
+
+Model promotion is atomic with respect to micro-batches: ``swap_model``
+takes the same execution lock the dispatcher holds while serving a batch,
+so every request is scored either entirely by the old model or entirely by
+the new one, and the worker's ``model_version`` counter — part of the
+response-cache key — bumps with the swap.
+"""
+
+from __future__ import annotations
+
+import copy
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from typing import Callable, List, Optional, Union
+
+from ...data.world import RequestContext
+from ...models.base import BaseCTRModel
+from ..pipeline import ScenarioRouter, ServeRequest, ServingPipeline, StageMetrics
+from ..ranker import hot_swap
+
+__all__ = ["ClusterOverloadError", "ClusterWorker"]
+
+
+class ClusterOverloadError(RuntimeError):
+    """A worker's queue is full and the submit was not allowed to block."""
+
+
+class _Pending:
+    """One enqueued request with its completion future and cache hook."""
+
+    __slots__ = ("request", "future", "on_done")
+
+    def __init__(self, request: ServeRequest, future: Future,
+                 on_done: Optional[Callable] = None) -> None:
+        self.request = request
+        self.future = future
+        self.on_done = on_done
+
+
+class ClusterWorker:
+    """A worker replica: queue + dispatcher thread + one pipeline engine."""
+
+    def __init__(
+        self,
+        worker_id: str,
+        engine: Union[ServingPipeline, ScenarioRouter],
+        max_batch: int = 64,
+        max_wait_ms: float = 2.0,
+        queue_depth: int = 512,
+        metrics: Optional[StageMetrics] = None,
+    ) -> None:
+        if max_batch <= 0:
+            raise ValueError("max_batch must be positive")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be non-negative")
+        if queue_depth <= 0:
+            raise ValueError("queue_depth must be positive")
+        self.worker_id = worker_id
+        self.engine = engine
+        self.max_batch = max_batch
+        self.max_wait_ms = max_wait_ms
+        self.queue: "queue.Queue[_Pending]" = queue.Queue(maxsize=queue_depth)
+        #: The worker's own telemetry accumulator (every pipeline variant of
+        #: this worker records into it); merged cluster-wide by the frontend.
+        self.metrics = metrics
+        #: Bumped on every ``swap_model``; part of the response-cache key, so
+        #: a deploy strands all entries served by the previous model.
+        self.model_version = 0
+        self.requests_served = 0
+        self.batches_run = 0
+        self.rejected = 0
+        self.batch_failures = 0
+        self._stop = threading.Event()
+        # Held while a micro-batch executes and while a model swaps: swaps
+        # are atomic between micro-batches, never inside one.
+        self._exec_lock = threading.Lock()
+        self._thread = threading.Thread(
+            target=self._dispatch_loop, name=f"cluster-worker-{worker_id}", daemon=True
+        )
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "ClusterWorker":
+        if not self._thread.is_alive() and not self._stop.is_set():
+            self._thread.start()
+        return self
+
+    @property
+    def running(self) -> bool:
+        return self._thread.is_alive()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop the dispatcher; pending requests fail with a shutdown error."""
+        self._stop.set()
+        if self._thread.is_alive():
+            self._thread.join(timeout)
+        while True:
+            try:
+                pending = self.queue.get_nowait()
+            except queue.Empty:
+                break
+            pending.future.set_exception(
+                RuntimeError(f"worker {self.worker_id!r} stopped before serving")
+            )
+
+    # ------------------------------------------------------------------ #
+    # admission
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        request: Union[ServeRequest, RequestContext],
+        on_done: Optional[Callable] = None,
+        block: bool = True,
+        timeout: Optional[float] = None,
+    ) -> Future:
+        """Enqueue one request; returns the future its response will fill.
+
+        ``block=False`` (or a ``timeout`` that elapses) against a full queue
+        raises :class:`ClusterOverloadError` — admission control instead of
+        unbounded queueing.  ``on_done(response)`` runs on the dispatcher
+        thread right before the future resolves (the frontend's cache-fill
+        hook).
+        """
+        future: Future = Future()
+        pending = _Pending(request, future, on_done)
+        try:
+            self.queue.put(pending, block=block, timeout=timeout)
+        except queue.Full:
+            self.rejected += 1
+            raise ClusterOverloadError(
+                f"worker {self.worker_id!r} queue is full "
+                f"({self.queue.maxsize} pending requests)"
+            ) from None
+        return future
+
+    @property
+    def depth(self) -> int:
+        """Requests currently queued (approximate under concurrency)."""
+        return self.queue.qsize()
+
+    # ------------------------------------------------------------------ #
+    # dispatch
+    # ------------------------------------------------------------------ #
+    def _dispatch_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                first = self.queue.get(timeout=0.05)
+            except queue.Empty:
+                continue
+            batch = [first]
+            deadline = time.monotonic() + self.max_wait_ms / 1e3
+            while len(batch) < self.max_batch:
+                remaining = deadline - time.monotonic()
+                try:
+                    if remaining <= 0:
+                        # Deadline passed: take only what is already queued.
+                        batch.append(self.queue.get_nowait())
+                    else:
+                        batch.append(self.queue.get(timeout=remaining))
+                except queue.Empty:
+                    break
+            self._execute(batch)
+
+    def _execute(self, batch: List[_Pending]) -> None:
+        with self._exec_lock:
+            try:
+                responses = self.engine.run_many([pending.request for pending in batch])
+            except BaseException as error:  # noqa: BLE001 - forwarded to callers
+                self.batch_failures += 1
+                for pending in batch:
+                    pending.future.set_exception(error)
+                return
+        self.batches_run += 1
+        self.requests_served += len(batch)
+        for pending, response in zip(batch, responses):
+            if pending.on_done is not None:
+                try:
+                    pending.on_done(response)
+                except Exception:  # noqa: BLE001 - cache fill must not kill serving
+                    pass
+            pending.future.set_result(response)
+
+    # ------------------------------------------------------------------ #
+    # model lifecycle
+    # ------------------------------------------------------------------ #
+    def pipelines(self) -> List[ServingPipeline]:
+        """The worker's pipeline variants (one, or the router's values)."""
+        if isinstance(self.engine, ScenarioRouter):
+            return list(self.engine.pipelines.values())
+        return [self.engine]
+
+    def swap_model(self, model: BaseCTRModel, replicate: bool = True) -> BaseCTRModel:
+        """Promote ``model`` on every pipeline variant, between micro-batches.
+
+        Drives the shared :func:`repro.serving.ranker.hot_swap` policy per
+        variant (schema fingerprint check, volatile feature-cache drop) and
+        re-exports embedding-ANN vectors where the recall strategy supports
+        it — the per-shard building block :class:`RollingDeploy` sequences.
+        Returns the previous model for rollback.
+
+        ``replicate`` (the default) installs this worker's *own deep copy*
+        of the model, like a production replica loading its own copy of the
+        published checkpoint.  This is a thread-safety requirement, not a
+        nicety: ``predict`` flips the model's train/eval mode around every
+        forward, so a model object shared by concurrently serving workers
+        would race (one worker's mode restore flips batch-norm to batch
+        statistics under another worker's forward).  Pass ``replicate=False``
+        only to reinstall a model this worker already owns (rollback).
+        """
+        with self._exec_lock:
+            if replicate:
+                model = copy.deepcopy(model)
+            previous: Optional[BaseCTRModel] = None
+            for pipeline in self.pipelines():
+                try:
+                    rank = pipeline.stage("rank")
+                except KeyError:
+                    continue
+                ranker = rank.ranker
+                swapped = hot_swap(
+                    ranker, ranker.encoder.schema, pipeline.state.features, model
+                )
+                if previous is None:
+                    previous = swapped
+                try:
+                    recall = pipeline.stage("recall")
+                except KeyError:
+                    continue
+                refresh = getattr(recall.strategy, "refresh_embeddings", None)
+                if refresh is not None:
+                    refresh(model, ranker.encoder)
+            if previous is None:
+                raise ValueError(
+                    f"worker {self.worker_id!r} has no rank stage to swap"
+                )
+            self.model_version += 1
+            return previous
+
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict:
+        return {
+            "worker": self.worker_id,
+            "requests_served": self.requests_served,
+            "batches_run": self.batches_run,
+            "mean_batch": self.requests_served / max(self.batches_run, 1),
+            "rejected": self.rejected,
+            "batch_failures": self.batch_failures,
+            "model_version": self.model_version,
+            "depth": self.depth,
+        }

@@ -65,6 +65,10 @@ class LoadTestReport:
     cache_hit_rate: float
     #: Telemetry of the pipeline replay pass (recall + rank stage latencies),
     #: populated by :func:`run_load_test`; ``None`` when the pass was skipped.
+    #: Accepts any accumulator — including a cluster-wide
+    #: :meth:`repro.serving.pipeline.StageMetrics.merged` combination of
+    #: per-worker accumulators, which ``stage_percentiles``/``stage_rows``
+    #: then report over the merged latency windows.
     stage_metrics: Optional[StageMetrics] = None
     pipeline_seconds: float = 0.0
     pipeline_window: int = 0

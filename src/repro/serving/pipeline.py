@@ -175,6 +175,45 @@ class StageMetrics:
         """Stage names in first-recorded order."""
         return list(self._stages)
 
+    # ------------------------------------------------------------------ #
+    def merge(self, other: "StageMetrics") -> "StageMetrics":
+        """Fold another accumulator into this one, stage by stage.
+
+        The cluster aggregation primitive: each worker records into its own
+        accumulator (no cross-thread contention on the hot path) and the
+        frontend merges them into one cluster-wide report.  Counter totals
+        add exactly; the bounded latency windows concatenate, keeping the
+        newest ``max_samples`` samples per stage.  ``other`` is not modified.
+
+        Merging while ``other``'s worker is still serving is safe (the
+        deque transfer is atomic under the GIL) but yields an approximate
+        snapshot: counters recorded mid-merge may land in either report.
+        Merge after a burst resolves for exact totals.
+        """
+        for name in other.stages():
+            theirs = other.stats(name)
+            stats = self._stages.get(name)
+            if stats is None:
+                stats = self._stages[name] = StageStats(
+                    latencies=deque(maxlen=self.max_samples)
+                )
+            stats.calls += theirs.calls
+            stats.requests += theirs.requests
+            stats.items_in += theirs.items_in
+            stats.items_out += theirs.items_out
+            stats.seconds += theirs.seconds
+            stats.latencies.extend(theirs.latencies)
+        return self
+
+    @classmethod
+    def merged(cls, accumulators: Sequence["StageMetrics"],
+               max_samples: int = 4096) -> "StageMetrics":
+        """One cluster-wide accumulator combining per-worker ones."""
+        combined = cls(max_samples=max_samples)
+        for accumulator in accumulators:
+            combined.merge(accumulator)
+        return combined
+
     def stats(self, stage: str) -> StageStats:
         return self._stages[stage]
 
@@ -595,6 +634,12 @@ class ScenarioRouter:
     ``default`` scenario serves the request.  ``run_many`` groups a mixed
     burst by scenario, runs each group through its pipeline's micro-batched
     path, and returns responses in input order.
+
+    ``unknown_tag`` picks the policy for an explicit tag with no pipeline:
+    ``"raise"`` (the default — a typo'd tag fails loudly instead of silently
+    serving the wrong variant) or ``"fallback"`` (degrade like an untagged
+    request: classifier first, then the default scenario — the lenient mode
+    for traffic from callers deploying new tags ahead of the router).
     """
 
     def __init__(
@@ -602,9 +647,12 @@ class ScenarioRouter:
         pipelines: Dict[str, ServingPipeline],
         default: Optional[str] = None,
         classifier: Optional[Callable[[RequestContext], str]] = None,
+        unknown_tag: str = "raise",
     ) -> None:
         if not pipelines:
             raise ValueError("a router needs at least one pipeline")
+        if unknown_tag not in ("raise", "fallback"):
+            raise ValueError(f"unknown_tag must be 'raise' or 'fallback', got {unknown_tag!r}")
         self.pipelines = dict(pipelines)
         if default is None:
             default = next(iter(self.pipelines))
@@ -612,6 +660,7 @@ class ScenarioRouter:
             raise ValueError(f"default scenario {default!r} has no pipeline")
         self.default = default
         self.classifier = classifier
+        self.unknown_tag = unknown_tag
 
     # ------------------------------------------------------------------ #
     def scenario_of(self, request: Union[ServeRequest, RequestContext]) -> str:
@@ -619,8 +668,12 @@ class ScenarioRouter:
         if isinstance(request, RequestContext):
             request = ServeRequest(context=request)
         scenario = request.scenario
+        if scenario and scenario not in self.pipelines and self.unknown_tag == "fallback":
+            scenario = ""  # degrade to the untagged path: classifier, then default
         if not scenario and self.classifier is not None:
             scenario = self.classifier(request.context)
+            if scenario not in self.pipelines and self.unknown_tag == "fallback":
+                scenario = ""
         if not scenario:
             scenario = self.default
         if scenario not in self.pipelines:

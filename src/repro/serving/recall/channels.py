@@ -246,10 +246,13 @@ class EmbeddingANNChannel(RecallChannel):
         size: int,
         rng: np.random.Generator,
     ) -> np.ndarray:
-        history = state.histories.get(context.user_index)
-        if history is None or len(history) == 0:
-            return np.zeros(0, dtype=np.int64)
-        recent = np.asarray(history.items[-self.history_window:], dtype=np.int64)
+        # Snapshot under the state lock so a concurrent feedback append
+        # cannot land mid-read (cluster workers serve while clients feed back).
+        with state.lock:
+            history = state.histories.get(context.user_index)
+            if history is None or len(history) == 0:
+                return np.zeros(0, dtype=np.int64)
+            recent = np.asarray(history.items[-self.history_window:], dtype=np.int64)
         query = self.item_embeddings[recent].mean(axis=0)
         norm = np.linalg.norm(query)
         if norm < 1e-12:
@@ -322,11 +325,15 @@ class UserHistoryChannel(RecallChannel):
         size: int,
         rng: np.random.Generator,
     ) -> np.ndarray:
-        history = state.histories.get(context.user_index)
-        if history is None or len(history) == 0:
-            return np.zeros(0, dtype=np.int64)
-        items = np.asarray(history.items[-self.history_window:], dtype=np.int64)
-        categories = np.asarray(history.categories[-self.history_window:], dtype=np.int64)
+        # Snapshot both parallel lists under the state lock: a concurrent
+        # feedback append between the two slices would misalign item and
+        # category windows (and the recency weights computed from them).
+        with state.lock:
+            history = state.histories.get(context.user_index)
+            if history is None or len(history) == 0:
+                return np.zeros(0, dtype=np.int64)
+            items = np.asarray(history.items[-self.history_window:], dtype=np.int64)
+            categories = np.asarray(history.categories[-self.history_window:], dtype=np.int64)
         # Recency weights: the latest event gets weight 1, older ones decay.
         weights = self.recency_decay ** np.arange(len(items) - 1, -1, -1, dtype=np.float64)
 

@@ -20,6 +20,7 @@ material of the continuous-refresh lifecycle.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Dict, Hashable, List, Optional, Tuple
 
@@ -97,6 +98,11 @@ class FeatureCache:
         self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        # Guards the entry maps and counters only.  Builders run *outside*
+        # the lock: a builder may re-enter ServingState (behaviour snapshots
+        # take the state lock), so holding the cache lock across it would
+        # order the two locks both ways and deadlock concurrent workers.
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
         return len(self._store) + len(self._pinned)
@@ -113,31 +119,39 @@ class FeatureCache:
         cache without bound.
         """
         if pinned:
-            value = self._pinned.get(key)
-            if value is not None:
-                self.hits += 1
-                return value
-            self.misses += 1
+            with self._lock:
+                value = self._pinned.get(key)
+                if value is not None:
+                    self.hits += 1
+                    return value
+                self.misses += 1
             value = builder()
-            self._pinned[key] = value
+            with self._lock:
+                # Another worker may have built the same static table in the
+                # meantime; both values are identical, last insert wins.
+                self._pinned[key] = value
             return value
         if not self.enabled:
-            self.misses += 1
+            with self._lock:
+                self.misses += 1
             return builder()
-        entry = self._store.get(key)
-        if entry is not None and entry[0] == version:
-            self.hits += 1
-            return entry[1]
-        self.misses += 1
+        with self._lock:
+            entry = self._store.get(key)
+            if entry is not None and entry[0] == version:
+                self.hits += 1
+                return entry[1]
+            self.misses += 1
         value = builder()
-        if key not in self._store and len(self._store) >= self.max_entries:
-            self._store.pop(next(iter(self._store)))
-        self._store[key] = (version, value)
+        with self._lock:
+            if key not in self._store and len(self._store) >= self.max_entries:
+                self._store.pop(next(iter(self._store)))
+            self._store[key] = (version, value)
         return value
 
     def invalidate(self, key: Hashable) -> None:
-        self._store.pop(key, None)
-        self._pinned.pop(key, None)
+        with self._lock:
+            self._store.pop(key, None)
+            self._pinned.pop(key, None)
 
     def invalidate_volatile(self) -> None:
         """Drop every versioned entry but keep the pinned static tables.
@@ -149,7 +163,8 @@ class FeatureCache:
         (entries rebuild lazily and cheaply).  The pinned precomputed id
         tables survive — the schema is fingerprint-checked before any swap.
         """
-        self._store.clear()
+        with self._lock:
+            self._store.clear()
 
     @property
     def num_pinned(self) -> int:
@@ -160,10 +175,11 @@ class FeatureCache:
         return len(self._store)
 
     def clear(self) -> None:
-        self._store.clear()
-        self._pinned.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._store.clear()
+            self._pinned.clear()
+            self.hits = 0
+            self.misses = 0
 
     @property
     def hit_rate(self) -> float:
@@ -188,6 +204,13 @@ class ServingState:
         )
         self.histories: Dict[int, UserHistoryState] = {}
         self.features = FeatureCache()
+        #: Serialises every state write (``record_clicks``, replay logging)
+        #: and the multi-array history reads (``behavior_snapshot``), so
+        #: concurrent cluster workers and feedback threads cannot interleave
+        #: a half-applied click with a behaviour-window read.  Reentrant:
+        #: ``record_clicks`` holds it across the replay encode, which reads
+        #: the behaviour snapshot back through the same lock.
+        self.lock = threading.RLock()
         # Bumped whenever a user's history or counters change; consumed by the
         # feature cache so per-user entries expire on write.
         self.user_version = np.zeros(world.config.num_users, dtype=np.int64)
@@ -233,12 +256,13 @@ class ServingState:
         ids = np.zeros((max_length, 6), dtype=np.int64)
         mask = np.zeros(max_length, dtype=np.float32)
         st_mask = np.zeros(max_length, dtype=np.float32)
-        history = self.histories.get(context.user_index)
-        if history is None or len(history) == 0:
-            return ids, mask, st_mask
-        start = max(0, len(history) - max_length)
-        count = len(history) - start
-        window, prefixes = history.window_arrays(start)
+        with self.lock:
+            history = self.histories.get(context.user_index)
+            if history is None or len(history) == 0:
+                return ids, mask, st_mask
+            start = max(0, len(history) - max_length)
+            count = len(history) - start
+            window, prefixes = history.window_arrays(start)
         ids[:count] = window + 1
         mask[:count] = 1.0
         prefix = context.geohash[: self.geohash_match_prefix]
@@ -261,29 +285,35 @@ class ServingState:
         the stored features are exactly the pre-feedback ones the ranker
         scored — no-click exposures included, since those are the negative
         examples incremental training needs.
+
+        The whole update — replay logging, history append, counter bumps,
+        version bump — happens under :attr:`lock`, so concurrent feedback
+        from cluster worker/client threads applies each click atomically
+        (pinned by the threaded-burst test in ``tests/serving/test_cluster.py``).
         """
-        if self.replay is not None:
-            self.replay.log(self, context, items, clicks)
-        rng = rng if rng is not None else np.random.default_rng(0)
-        clicked = np.where(np.asarray(clicks) > 0)[0]
-        if len(clicked) == 0:
-            return
-        history = self.history(context.user_index)
-        prefix = context.geohash[: self.geohash_match_prefix]
-        for index in clicked:
-            item = int(items[index])
-            history.append(
-                item,
-                int(self.world.item_category[item]),
-                int(self.world.item_brand[item]),
-                context.time_period,
-                context.hour,
-                context.city,
-                prefix,
-            )
-            self.user_clicks[context.user_index] += 1
-            self.item_clicks[item] += 1
-            self.item_period_clicks[item, context.time_period] += 1
-            if rng.random() < order_probability:
-                self.user_orders[context.user_index] += 1
-        self.user_version[context.user_index] += 1
+        with self.lock:
+            if self.replay is not None:
+                self.replay.log(self, context, items, clicks)
+            rng = rng if rng is not None else np.random.default_rng(0)
+            clicked = np.where(np.asarray(clicks) > 0)[0]
+            if len(clicked) == 0:
+                return
+            history = self.history(context.user_index)
+            prefix = context.geohash[: self.geohash_match_prefix]
+            for index in clicked:
+                item = int(items[index])
+                history.append(
+                    item,
+                    int(self.world.item_category[item]),
+                    int(self.world.item_brand[item]),
+                    context.time_period,
+                    context.hour,
+                    context.city,
+                    prefix,
+                )
+                self.user_clicks[context.user_index] += 1
+                self.item_clicks[item] += 1
+                self.item_period_clicks[item, context.time_period] += 1
+                if rng.random() < order_probability:
+                    self.user_orders[context.user_index] += 1
+            self.user_version[context.user_index] += 1

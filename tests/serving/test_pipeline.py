@@ -219,6 +219,59 @@ class TestStageMetrics:
     def test_empty_metrics_summary(self):
         assert "no stage telemetry" in StageMetrics().summary()
 
+    def test_merge_combines_per_worker_accumulators(self):
+        left = StageMetrics()
+        right = StageMetrics()
+        for _ in range(3):
+            left.record("recall", 0.010, requests=4, items_in=0, items_out=40)
+        left.record("rank", 0.020, requests=4, items_in=40, items_out=10)
+        for _ in range(2):
+            right.record("recall", 0.030, requests=6, items_in=0, items_out=60)
+        right.record("exposure", 0.001, requests=6, items_in=6, items_out=6)
+
+        merged = StageMetrics.merged([left, right])
+        recall = merged.stats("recall")
+        assert recall.calls == 5 and recall.requests == 3 * 4 + 2 * 6
+        assert recall.items_out == 3 * 40 + 2 * 60
+        assert recall.seconds == pytest.approx(3 * 0.010 + 2 * 0.030)
+        assert len(recall.latencies) == 5
+        # Stages unique to either side survive the merge.
+        assert set(merged.stages()) == {"recall", "rank", "exposure"}
+        # Percentiles span both sources' samples.
+        assert merged.latency_percentiles("recall")["p99"] == pytest.approx(0.030, rel=0.1)
+        # The inputs are untouched.
+        assert left.stats("recall").calls == 3 and right.stats("recall").calls == 2
+
+    def test_merge_respects_bounded_latency_window(self):
+        left = StageMetrics(max_samples=4)
+        right = StageMetrics(max_samples=4)
+        for index in range(10):
+            right.record("rank", 0.001 * index, requests=1, items_in=1, items_out=1)
+        merged = StageMetrics(max_samples=4).merge(left).merge(right)
+        stats = merged.stats("rank")
+        assert stats.calls == 10  # totals stay exact ...
+        assert len(stats.latencies) == 4  # ... while the window stays bounded
+
+    def test_merged_metrics_surface_in_load_report(self):
+        """LoadTestReport.stage_percentiles works over a merged accumulator."""
+        from repro.serving import LoadTestReport
+
+        workers = []
+        for worker_seconds in (0.010, 0.050):
+            metrics = StageMetrics()
+            metrics.record("rank", worker_seconds, requests=2, items_in=20, items_out=4)
+            workers.append(metrics)
+        report = LoadTestReport(
+            num_requests=4, total_rows=40, sequential_seconds=1.0,
+            batched_seconds=0.5, max_abs_score_diff=0.0, micro_batches_run=2,
+            cache_hit_rate=0.0, stage_metrics=StageMetrics.merged(workers),
+        )
+        percentiles = report.stage_percentiles()
+        assert set(percentiles) == {"rank"}
+        # The merged window spans both workers' samples: p50 between them.
+        assert 10.0 <= percentiles["rank"]["p50"] <= 50.0
+        assert report.stage_rows()[0]["Requests"] == 4
+
     def test_latency_window_is_bounded_but_totals_exact(self):
         metrics = StageMetrics(max_samples=8)
         for index in range(50):
@@ -365,6 +418,68 @@ class TestScenarioRouter:
             ScenarioRouter({}, default="x")
         with pytest.raises(ValueError):
             ScenarioRouter({"a": router.pipelines["dense"]}, default="b")
+
+    def test_empty_batch_returns_empty(self, eleme_dataset, pipeline_setup):
+        state, encoder, model = pipeline_setup
+        router = self.build_router(eleme_dataset, state, encoder, model)
+        assert router.run_many([]) == []
+        # Telemetry untouched by the empty burst.
+        assert all(
+            pipeline.metrics.stages() == [] or
+            pipeline.metrics.stats(pipeline.metrics.stages()[0]).requests >= 0
+            for pipeline in router.pipelines.values()
+        )
+
+    def test_mixed_burst_preserves_input_order_with_classifier_and_tags(
+        self, eleme_dataset, pipeline_setup
+    ):
+        """Explicit tags and classifier-derived tags interleaved in one burst."""
+        state, encoder, model = pipeline_setup
+        classifier = lambda context: "sparse" if context.user_index % 2 else "dense"  # noqa: E731
+        router = self.build_router(eleme_dataset, state, encoder, model, classifier)
+        contexts = sample_contexts(eleme_dataset.world, 12, seed=117)
+        requests = []
+        expected = []
+        for index, context in enumerate(contexts):
+            if index % 3 == 0:  # every third request pins a tag explicitly
+                tag = "dense" if index % 2 else "sparse"
+                requests.append(ServeRequest(context=context, scenario=tag))
+                expected.append(tag)
+            else:
+                requests.append(ServeRequest(context=context))
+                expected.append(classifier(context))
+        responses = router.run_many(requests)
+        assert [r.request.scenario for r in responses] == expected
+        for request, response in zip(requests, responses):
+            assert response.context is request.context  # input order held
+            assert len(response.items) == (3 if response.request.scenario == "sparse" else 6)
+
+    def test_unknown_tag_fallback_policy_degrades_to_classifier_then_default(
+        self, eleme_dataset, pipeline_setup
+    ):
+        state, encoder, model = pipeline_setup
+        classifier = lambda context: "sparse"  # noqa: E731
+        pipelines = self.build_router(eleme_dataset, state, encoder, model).pipelines
+        lenient = ScenarioRouter(
+            pipelines, default="dense", classifier=classifier, unknown_tag="fallback"
+        )
+        context = sample_contexts(eleme_dataset.world, 1, seed=118)[0]
+        # Unknown explicit tag -> classifier wins.
+        served = lenient.run(ServeRequest(context=context, scenario="not-a-scenario"))
+        assert served.request.scenario == "sparse"
+        # Classifier itself returns an unknown tag -> default wins.
+        lenient.classifier = lambda context: "also-unknown"  # noqa: E731
+        served = lenient.run(ServeRequest(context=context, scenario="not-a-scenario"))
+        assert served.request.scenario == "dense"
+        # No classifier at all -> unknown tag degrades straight to default.
+        lenient.classifier = None
+        assert lenient.scenario_of(ServeRequest(context=context, scenario="nope")) == "dense"
+        # The strict default still raises on the same input.
+        strict = ScenarioRouter(pipelines, default="dense")
+        with pytest.raises(ValueError):
+            strict.run(ServeRequest(context=context, scenario="not-a-scenario"))
+        with pytest.raises(ValueError):
+            ScenarioRouter(pipelines, default="dense", unknown_tag="sometimes")
 
     def test_router_does_not_mutate_caller_envelopes(self, eleme_dataset, pipeline_setup):
         """An untagged request is re-classified on every routing, not tagged once."""
