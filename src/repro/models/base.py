@@ -13,6 +13,7 @@ ideas rather than input plumbing:
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
@@ -24,6 +25,11 @@ from ..nn import Tensor
 
 __all__ = ["ModelConfig", "FieldEmbedder", "BaseCTRModel",
            "batch_num_rows", "slice_batch"]
+
+#: Serving identities handed out to model instances (see
+#: ``BaseCTRModel.serving_uid``).  A module-level counter, so two models never
+#: share a uid within one process.
+_SERVING_UIDS = itertools.count(1)
 
 
 def batch_num_rows(batch: Dict[str, np.ndarray]) -> int:
@@ -186,17 +192,54 @@ class BaseCTRModel(nn.Module):
 
     name = "base"
 
+    #: Whether the model's forward splits exactly into a frozen item tower
+    #: plus per-request/per-row remainders at the embedding-concat boundary
+    #: (see :mod:`repro.models.two_tower`).  Models that condition item
+    #: dimensions on the request context (the BASM family) cannot, and the
+    #: serving fast path transparently falls back to the full forward.
+    supports_two_tower = False
+
     def __init__(self, schema: FeatureSchema, config: Optional[ModelConfig] = None) -> None:
         super().__init__()
         self.schema = schema
         self.config = config or ModelConfig()
         self.embedder = FieldEmbedder(schema, self.config)
         self.rng = np.random.default_rng(self.config.seed + 1)
+        #: Identity of this model *version* for serving-side caches (frozen
+        #: item-tower tables are keyed by it).  ``copy.deepcopy`` replicas
+        #: share the uid — same weights, same tables — while checkpoint
+        #: restores and :meth:`load_state_dict` mint a fresh one.  Mutating
+        #: weights in place on a live serving model without a hot-swap is
+        #: not supported.
+        self.serving_uid = next(_SERVING_UIDS)
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
+        super().load_state_dict(state, strict=strict)
+        # New weights are a new serving identity: precomputed item-side
+        # tables keyed by the old uid must never score for these parameters.
+        self.serving_uid = next(_SERVING_UIDS)
 
     # ------------------------------------------------------------------ #
     def forward(self, batch: Dict[str, np.ndarray]) -> Tensor:
         """Return the predicted click probability, shape ``(batch,)``."""
         raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # two-tower split serving protocol (see repro.models.two_tower)
+    # ------------------------------------------------------------------ #
+    def precompute_item_tables(self, item_static_ids: np.ndarray,
+                               quantization: str = "float32"):
+        """Freeze this model version's item-side tables for the candidate
+        universe (``item_static_ids`` in ``item_static_table`` layout)."""
+        raise NotImplementedError(
+            f"model {self.name!r} does not support the two-tower split"
+        )
+
+    def score_two_tower(self, split_batch: Dict[str, np.ndarray], tables) -> np.ndarray:
+        """Fused late-binding score over a split batch (``encode_split``)."""
+        raise NotImplementedError(
+            f"model {self.name!r} does not support the two-tower split"
+        )
 
     def predict(self, batch: Dict[str, np.ndarray],
                 micro_batch_size: Optional[int] = None) -> np.ndarray:
@@ -207,24 +250,25 @@ class BaseCTRModel(nn.Module):
         row-wise layer (and eval-mode batch norm, which uses running
         statistics) is independent across rows, so chunked and whole-batch
         predictions are identical.
+
+        Eval semantics come from the thread-local
+        :class:`repro.nn.module.inference_mode` rather than flipping
+        ``self.eval()`` / ``self.train()``: those mutate state shared by
+        every thread, so a concurrent trainer (or a second serving worker)
+        could observe — or clobber — another thread's mode mid-forward.
         """
-        was_training = self.training
-        self.eval()
-        try:
-            with nn.no_grad():
-                if micro_batch_size is None:
-                    return self.forward(batch).data.reshape(-1)
-                if micro_batch_size <= 0:
-                    raise ValueError("micro_batch_size must be positive")
-                total = batch_num_rows(batch)
-                pieces = [
-                    self.forward(slice_batch(batch, start, min(start + micro_batch_size, total)))
-                    .data.reshape(-1)
-                    for start in range(0, total, micro_batch_size)
-                ]
-                return np.concatenate(pieces) if pieces else np.zeros(0, dtype=np.float32)
-        finally:
-            self.train(was_training)
+        with nn.no_grad(), nn.inference_mode():
+            if micro_batch_size is None:
+                return self.forward(batch).data.reshape(-1)
+            if micro_batch_size <= 0:
+                raise ValueError("micro_batch_size must be positive")
+            total = batch_num_rows(batch)
+            pieces = [
+                self.forward(slice_batch(batch, start, min(start + micro_batch_size, total)))
+                .data.reshape(-1)
+                for start in range(0, total, micro_batch_size)
+            ]
+            return np.concatenate(pieces) if pieces else np.zeros(0, dtype=np.float32)
 
     def export_item_embeddings(self, item_feature_ids: np.ndarray,
                                l2_normalize: bool = True) -> np.ndarray:
@@ -244,10 +288,13 @@ class BaseCTRModel(nn.Module):
             raise ValueError(f"item_feature_ids must be 2-D, got shape {ids.shape}")
         with nn.no_grad():
             vectors = self.embedder.embed_flat_field(ids).data
-        vectors = np.array(vectors, dtype=np.float64)
+        # Serving stores and serves these in float32 (the model's compute
+        # dtype); exporting float64 silently doubled the ANN channel's memory
+        # and made exported vectors disagree with what the ranker consumes.
+        vectors = np.array(vectors, dtype=np.float32)
         if l2_normalize:
             norms = np.linalg.norm(vectors, axis=1, keepdims=True)
-            vectors = vectors / np.maximum(norms, 1e-12)
+            vectors = (vectors / np.maximum(norms, 1e-12)).astype(np.float32)
         return vectors
 
     # ------------------------------------------------------------------ #

@@ -157,27 +157,17 @@ class BASM(BaseCTRModel):
     # ------------------------------------------------------------------ #
     def final_representation(self, batch: Dict[str, np.ndarray]) -> np.ndarray:
         """Hidden representation before the logit (for the t-SNE figures)."""
-        was_training = self.training
-        self.eval()
-        try:
-            with nn.no_grad():
-                fields = self._field_representations(batch)
-                semantic = self._semantic(batch, fields)
-                if self.use_stabt:
-                    hidden = self.tower.hidden_representation(semantic, fields[FieldName.CONTEXT])
-                else:
-                    hidden = semantic
-        finally:
-            self.train(was_training)
+        with nn.no_grad(), nn.inference_mode():
+            fields = self._field_representations(batch)
+            semantic = self._semantic(batch, fields)
+            if self.use_stabt:
+                hidden = self.tower.hidden_representation(semantic, fields[FieldName.CONTEXT])
+            else:
+                hidden = semantic
         return np.array(hidden.data)
 
     def spatiotemporal_weights(self, batch: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
         """Per-sample StAEL alpha for each field (drives the Fig. 8/9 heatmaps)."""
-        was_training = self.training
-        self.eval()
-        try:
-            with nn.no_grad():
-                self._field_representations(batch)
-        finally:
-            self.train(was_training)
+        with nn.no_grad(), nn.inference_mode():
+            self._field_representations(batch)
         return dict(self.last_alphas)

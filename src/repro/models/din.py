@@ -11,6 +11,13 @@ from .. import nn
 from ..features.schema import FeatureSchema, FieldName
 from ..nn import Tensor
 from .base import BaseCTRModel, ModelConfig
+from .two_tower import (
+    ItemTowerTables,
+    build_common_item_tables,
+    fused_common,
+    fused_sigmoid,
+    trunk_field_slices,
+)
 
 __all__ = ["DIN", "TargetAttentionDIN"]
 
@@ -24,6 +31,7 @@ class DIN(BaseCTRModel):
     """
 
     name = "din"
+    supports_two_tower = True
 
     def __init__(self, schema: FeatureSchema, config: Optional[ModelConfig] = None) -> None:
         super().__init__(schema, config)
@@ -51,6 +59,28 @@ class DIN(BaseCTRModel):
         logit = self.tower(self.concat_fields(fields))
         return logit.sigmoid().reshape(-1)
 
+    # ------------------------------------------------------------------ #
+    # two-tower split serving (see repro.models.two_tower)
+    # ------------------------------------------------------------------ #
+    def precompute_item_tables(self, item_static_ids: np.ndarray,
+                               quantization: str = "float32") -> ItemTowerTables:
+        return build_common_item_tables(self, self.tower, item_static_ids, quantization)
+
+    def score_two_tower(self, split_batch: Dict[str, np.ndarray],
+                        tables: ItemTowerTables) -> np.ndarray:
+        if len(split_batch["candidates"]) == 0:
+            return np.zeros(0, dtype=np.float32)
+        z, query, proj_seq = fused_common(self, self.tower, split_batch, tables)
+        pooled = self.activation_unit.infer(
+            query, proj_seq,
+            mask=split_batch["behavior_mask_unique"],
+            row_map=split_batch["behavior_row_map"],
+        )
+        z = z + self.tower.linears[0].infer_partial(
+            pooled, *trunk_field_slices(self)[FieldName.USER_BEHAVIOR]
+        )
+        return fused_sigmoid(self.tower.infer_from(z, 0)).reshape(-1)
+
 
 class TargetAttentionDIN(BaseCTRModel):
     """The paper's online *base model*: a DIN variant built on multi-head
@@ -63,6 +93,7 @@ class TargetAttentionDIN(BaseCTRModel):
     """
 
     name = "base_din"
+    supports_two_tower = True
 
     def __init__(self, schema: FeatureSchema, config: Optional[ModelConfig] = None) -> None:
         super().__init__(schema, config)
@@ -110,3 +141,37 @@ class TargetAttentionDIN(BaseCTRModel):
         )
         logit = self.tower(trunk)
         return logit.sigmoid().reshape(-1)
+
+    # ------------------------------------------------------------------ #
+    # two-tower split serving (see repro.models.two_tower)
+    # ------------------------------------------------------------------ #
+    def precompute_item_tables(self, item_static_ids: np.ndarray,
+                               quantization: str = "float32") -> ItemTowerTables:
+        return build_common_item_tables(self, self.tower, item_static_ids, quantization)
+
+    def score_two_tower(self, split_batch: Dict[str, np.ndarray],
+                        tables: ItemTowerTables) -> np.ndarray:
+        if len(split_batch["candidates"]) == 0:
+            return np.zeros(0, dtype=np.float32)
+        z, query, proj_seq = fused_common(self, self.tower, split_batch, tables)
+        # Window masks computed once per unique sequence; the attention
+        # gather broadcasts them onto the candidate rows.
+        long_mask, short_mask, realtime_mask = self._window_masks(
+            split_batch["behavior_mask_unique"]
+        )
+        slot = split_batch["behavior_row_map"]
+        long_interest = self.long_attention.infer(query, proj_seq, mask=long_mask, row_map=slot)
+        short_interest = self.short_attention.infer(query, proj_seq, mask=short_mask, row_map=slot)
+        realtime_interest = self.realtime_attention.infer(
+            query, proj_seq, mask=realtime_mask, row_map=slot
+        )
+        l1 = self.tower.linears[0]
+        z = z + l1.infer_partial(
+            long_interest, *trunk_field_slices(self)[FieldName.USER_BEHAVIOR]
+        )
+        # The two extra pooled vectors are appended after the field concat.
+        base = self.embedder.total_dim
+        dim = self.config.attention_dim
+        z = z + l1.infer_partial(short_interest, base, base + dim)
+        z = z + l1.infer_partial(realtime_interest, base + dim, base + 2 * dim)
+        return fused_sigmoid(self.tower.infer_from(z, 0)).reshape(-1)

@@ -7,9 +7,17 @@ from typing import Dict, Optional
 import numpy as np
 
 from .. import nn
-from ..features.schema import FeatureSchema
+from ..features.schema import FeatureSchema, FieldName
 from ..nn import Tensor
 from .base import BaseCTRModel, ModelConfig
+from .two_tower import (
+    ItemTable,
+    ItemTowerTables,
+    build_common_item_tables,
+    fused_common,
+    fused_sigmoid,
+    trunk_field_slices,
+)
 
 __all__ = ["WideDeep"]
 
@@ -26,6 +34,7 @@ class WideDeep(BaseCTRModel):
     """
 
     name = "wide_deep"
+    supports_two_tower = True
 
     def __init__(self, schema: FeatureSchema, config: Optional[ModelConfig] = None) -> None:
         super().__init__(schema, config)
@@ -51,3 +60,43 @@ class WideDeep(BaseCTRModel):
         deep_logit = self.deep(self.concat_fields(fields))
         logit = deep_logit + self._wide_logit(batch)
         return logit.sigmoid().reshape(-1)
+
+    # ------------------------------------------------------------------ #
+    # two-tower split serving (see repro.models.two_tower)
+    # ------------------------------------------------------------------ #
+    def precompute_item_tables(self, item_static_ids: np.ndarray,
+                               quantization: str = "float32") -> ItemTowerTables:
+        tables = build_common_item_tables(self, self.deep, item_static_ids, quantization)
+        # The wide part contributes a frozen per-item scalar too: the sum of
+        # the static item features' wide weights.
+        wide_static = self.wide_weights.infer(
+            np.asarray(item_static_ids, dtype=np.int64)
+        ).sum(axis=1)
+        tables.tables["wide_item_static"] = ItemTable(wide_static, quantization)
+        return tables
+
+    def score_two_tower(self, split_batch: Dict[str, np.ndarray],
+                        tables: ItemTowerTables) -> np.ndarray:
+        cands = split_batch["candidates"]
+        if len(cands) == 0:
+            return np.zeros(0, dtype=np.float32)
+        row_map = split_batch["row_map"]
+        num_static = tables.static_cols // self.config.embedding_dim
+        z, query, proj_seq = fused_common(self, self.deep, split_batch, tables)
+        pooled = self.embedder.target_attention.infer(
+            query, proj_seq,
+            mask=split_batch["behavior_mask_unique"],
+            row_map=split_batch["behavior_row_map"],
+        )
+        field_slices = trunk_field_slices(self)
+        z = z + self.deep.linears[0].infer_partial(
+            pooled, *field_slices[FieldName.USER_BEHAVIOR]
+        )
+        deep_logit = self.deep.infer_from(z, 0)
+
+        wide = tables.gather("wide_item_static", cands)
+        wide = wide + self.wide_weights.infer(split_batch["user_rows"]).sum(axis=1)[row_map]
+        wide = wide + self.wide_weights.infer(split_batch["context_rows"]).sum(axis=1)[row_map]
+        wide = wide + self.wide_weights.infer(split_batch["item_field"][:, num_static:]).sum(axis=1)
+        wide = wide + self.wide_weights.infer(split_batch["combine_ids"]).sum(axis=1)
+        return fused_sigmoid(deep_logit + wide).reshape(-1)

@@ -26,7 +26,7 @@ from .layers import (
     Tanh,
     get_activation,
 )
-from .module import Module, ModuleList, Sequential
+from .module import Module, ModuleList, Sequential, inference_mode, is_inference
 from .parameter import Parameter
 from .tensor import Tensor, is_grad_enabled, no_grad
 
@@ -57,6 +57,8 @@ __all__ = [
     "Module",
     "ModuleList",
     "Sequential",
+    "inference_mode",
+    "is_inference",
     "Parameter",
     "Tensor",
     "is_grad_enabled",

@@ -106,6 +106,94 @@ class MultiHeadTargetAttention(Module):
         merged = attended.transpose(0, 2, 1, 3).reshape(batch, self.dim)
         return self.out_proj(merged)
 
+    # ------------------------------------------------------------------ #
+    def infer(self, target: np.ndarray, sequence: np.ndarray,
+              mask: Optional[np.ndarray] = None,
+              row_map: Optional[np.ndarray] = None) -> np.ndarray:
+        """Graph-free pooling for the serving fast path (eval semantics).
+
+        Same contract as :meth:`forward` with raw arrays: ``sequence`` holds
+        one row per *unique* behaviour sequence and ``row_map`` scatters the
+        per-sequence key/value projections onto the candidate rows, so the
+        expensive sequence-side work runs once per request no matter how many
+        candidates share it.  Operation shapes and order mirror the tensor
+        path, keeping fused scores within float re-association of it.
+        """
+        unique, seq_len, dim = sequence.shape
+        if dim != self.dim:
+            raise ValueError(f"sequence dim {dim} does not match attention dim {self.dim}")
+        batch = len(target) if row_map is not None else unique
+        # Keys/values are projected once per unique sequence and contracted
+        # against the per-candidate queries in request-sized GEMMs.  The
+        # tensor path's one-query-row-per-candidate batched matmul degrades
+        # to thousands of M=1 GEMV dispatches at serving batch sizes; here
+        # every contraction's shape — (candidates, head_dim) x (head_dim,
+        # seq_len) — is a property of the *request alone*, so the kernel a
+        # request hits (and therefore its bytes) cannot change with
+        # micro-batch packing.  Relative to the tensor path only the
+        # head_dim reduction reassociates — within the fused 1e-6 band.
+        query = self.query_proj.infer(target).reshape(batch, self.num_heads, self.head_dim)
+        key = self.key_proj.infer(sequence).reshape(unique, seq_len, self.num_heads, self.head_dim)
+        value = self.value_proj.infer(sequence).reshape(unique, seq_len, self.num_heads, self.head_dim)
+        scale = np.float32(1.0 / np.sqrt(self.head_dim))
+        grouped = None
+        if row_map is not None:
+            row_map = np.asarray(row_map, dtype=np.int64)
+            mask = None if mask is None else np.asarray(mask)[row_map]
+            counts = np.bincount(row_map, minlength=unique)
+            grouped = counts if np.array_equal(
+                np.repeat(np.arange(unique), counts), row_map
+            ) else None
+        if grouped is None and row_map is not None:
+            # Arbitrary row_map layout: per-row einsum (fixed reduction order
+            # per row, still composition-invariant, just slower).
+            scores = np.einsum("nhd,nshd->nhs", query, key[row_map]) * scale
+        elif grouped is not None and grouped.min() == grouped.max():
+            # The serving layout: each request's candidate rows contiguous,
+            # uniform candidate counts — one stacked (U, heads) batch of
+            # per-request GEMMs.
+            per = int(grouped[0])
+            stacked = query.reshape(unique, per, self.num_heads, self.head_dim)
+            scores = (
+                (stacked.transpose(0, 2, 1, 3) @ key.transpose(0, 2, 3, 1))
+                .transpose(0, 2, 1, 3).reshape(batch, self.num_heads, seq_len)
+            ) * scale
+        elif grouped is not None:
+            # Ragged candidate counts: same per-request GEMM shapes, looped.
+            blocks, offset = [], 0
+            for index, count in enumerate(grouped):
+                rows = query[offset:offset + count].transpose(1, 0, 2)
+                blocks.append((rows @ key[index].transpose(1, 2, 0)).transpose(1, 0, 2))
+                offset += count
+            scores = np.concatenate(blocks, axis=0) * scale
+        else:
+            scores = np.einsum("nhd,nshd->nhs", query, key) * scale
+        if mask is not None:
+            fill = ((1.0 - np.asarray(mask, dtype=np.float32)) * -1e9)[:, None, :]
+            scores = scores + fill
+        shifted = scores - scores.max(axis=-1, keepdims=True)
+        exp = np.exp(shifted)
+        weights = exp / exp.sum(axis=-1, keepdims=True)
+        if grouped is not None and grouped.min() == grouped.max():
+            per = int(grouped[0])
+            stacked = weights.reshape(unique, per, self.num_heads, seq_len)
+            merged = (
+                (stacked.transpose(0, 2, 1, 3) @ value.transpose(0, 2, 1, 3))
+                .transpose(0, 2, 1, 3).reshape(batch, self.dim)
+            )
+        elif grouped is not None:
+            blocks, offset = [], 0
+            for index, count in enumerate(grouped):
+                rows = weights[offset:offset + count].transpose(1, 0, 2)
+                blocks.append((rows @ value[index].transpose(1, 0, 2)).transpose(1, 0, 2))
+                offset += count
+            merged = np.concatenate(blocks, axis=0).reshape(batch, self.dim)
+        elif row_map is not None:
+            merged = np.einsum("nhs,nshd->nhd", weights, value[row_map]).reshape(batch, self.dim)
+        else:
+            merged = np.einsum("nhs,nshd->nhd", weights, value).reshape(batch, self.dim)
+        return self.out_proj.infer(merged)
+
 
 class MultiHeadSelfAttention(Module):
     """Self-attention over feature fields — the interacting layer of AutoInt."""
@@ -166,4 +254,32 @@ class DINLocalActivationUnit(Module):
             scores = scores * Tensor(np.asarray(mask, dtype=np.float32))
         weights = scores.expand_dims(-1)
         pooled = (sequence * weights).sum(axis=1)
+        return pooled
+
+    # ------------------------------------------------------------------ #
+    def infer(self, target: np.ndarray, sequence: np.ndarray,
+              mask: Optional[np.ndarray] = None,
+              row_map: Optional[np.ndarray] = None) -> np.ndarray:
+        """Graph-free activation pooling for the serving fast path.
+
+        ``sequence``/``mask`` hold one row per unique behaviour sequence;
+        ``row_map`` (optional) gathers them onto the per-candidate rows.
+        Unlike target attention the interaction features depend on the target,
+        so the scorer MLP still runs per (row, behaviour) pair — only the
+        gather is deduplicated.  Mirrors :meth:`forward`'s op order.
+        """
+        if row_map is not None:
+            row_map = np.asarray(row_map, dtype=np.int64)
+            sequence = sequence[row_map]
+            mask = None if mask is None else np.asarray(mask)[row_map]
+        batch, seq_len, dim = sequence.shape
+        target_expanded = target.reshape(batch, 1, dim) * np.ones((1, seq_len, 1), dtype=np.float32)
+        interaction = np.concatenate(
+            [sequence, target_expanded, sequence - target_expanded, sequence * target_expanded],
+            axis=-1,
+        )
+        scores = self.scorer.infer(interaction.reshape(batch * seq_len, 4 * dim)).reshape(batch, seq_len)
+        if mask is not None:
+            scores = scores * np.asarray(mask, dtype=np.float32)
+        pooled = (sequence * scores[..., None]).sum(axis=1)
         return pooled

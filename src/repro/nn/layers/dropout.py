@@ -24,7 +24,7 @@ class Dropout(Module):
         self.rng = rng if rng is not None else np.random.default_rng(0)
 
     def forward(self, x: Tensor) -> Tensor:
-        if not self.training or self.rate == 0.0:
+        if not self.effective_training or self.rate == 0.0:
             return x
         mask = F.dropout_mask(x.shape, self.rate, self.rng)
         return x * Tensor(mask)

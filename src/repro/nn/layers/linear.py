@@ -62,5 +62,65 @@ class Linear(Module):
             out = out + self.bias
         return out
 
+    # ------------------------------------------------------------------ #
+    # graph-free inference entry points (the serving fast path)
+    # ------------------------------------------------------------------ #
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        """Forward on a raw array with the same kernel-invariance guards.
+
+        The two batch-size-dependent BLAS shapes that :meth:`forward` routes
+        around (1-wide outputs, single-row inputs) are routed around here the
+        same way, so scores produced by the graph-free path are invariant to
+        micro-batch composition exactly like the tensor path's.
+        """
+        if x.shape[-1] != self.in_features:
+            raise ValueError(
+                f"Linear expected last dim {self.in_features}, got input shape {x.shape}"
+            )
+        if self.out_features == 1:
+            out = (x * self.weight.data.reshape(-1)).sum(axis=-1, keepdims=True)
+        elif x.ndim == 2 and x.shape[0] == 1:
+            out = (np.concatenate([x, x], axis=0)
+                   @ np.ascontiguousarray(self.weight.data.T))[0:1]
+        else:
+            out = x @ np.ascontiguousarray(self.weight.data.T)
+        if self.bias is not None:
+            out = out + self.bias.data
+        return out
+
+    def weight_columns(self, start: int, stop: int) -> np.ndarray:
+        """Contiguous ``(out, stop - start)`` slice of the weight matrix.
+
+        The split-forward primitive: an affine map over a concatenation
+        ``[a, b, c]`` is the sum of the column-block products plus the bias,
+        so a tower's first layer can be evaluated as *partial contributions* —
+        some precomputed per item, some computed once per request, some per
+        candidate row (see ``repro.models.two_tower``).
+        """
+        if not (0 <= start < stop <= self.in_features):
+            raise ValueError(
+                f"invalid column slice [{start}:{stop}] for in_features={self.in_features}"
+            )
+        return np.ascontiguousarray(self.weight.data[:, start:stop])
+
+    def infer_partial(self, x: np.ndarray, start: int, stop: int,
+                      add_bias: bool = False) -> np.ndarray:
+        """Partial product ``x @ W[:, start:stop]^T`` (no bias unless asked).
+
+        ``x`` holds only the ``stop - start`` input columns of this slice.
+        Summing the partials of a full column partition plus the bias equals
+        :meth:`infer` up to float re-association.
+        """
+        weight_t = np.ascontiguousarray(self.weight_columns(start, stop).T)
+        if x.ndim == 2 and x.shape[0] == 1:
+            # Same single-row gemv guard as infer(): partial products must be
+            # batch-composition-invariant too.
+            out = (np.concatenate([x, x], axis=0) @ weight_t)[0:1]
+        else:
+            out = x @ weight_t
+        if add_bias and self.bias is not None:
+            out = out + self.bias.data
+        return out
+
     def __repr__(self) -> str:
         return f"Linear(in={self.in_features}, out={self.out_features}, bias={self.bias is not None})"

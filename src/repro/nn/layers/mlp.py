@@ -71,9 +71,39 @@ class MLP(Module):
     def layer_widths(self) -> List[int]:
         return list(self.hidden_units)
 
+    # ------------------------------------------------------------------ #
+    # graph-free inference entry points (the serving fast path)
+    # ------------------------------------------------------------------ #
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        """Eval-mode forward on a raw array (no graph, no mode flips)."""
+        return self.infer_from(self.linears[0].infer(x), 0)
+
+    def infer_from(self, x: np.ndarray, layer_index: int) -> np.ndarray:
+        """Resume eval-mode inference with layer ``layer_index``'s linear done.
+
+        ``x`` is that linear's output *including bias*.  This is the
+        split-forward entry point: a two-tower scorer assembles the first
+        layer's activations from precomputed item-side, per-request and
+        per-row partial products, then hands the sum to the remaining
+        (row-wise, non-decomposable) layers here.  Dropout is an eval-time
+        no-op and batch norm uses running statistics, matching what
+        ``forward`` computes inside :class:`repro.nn.module.inference_mode`.
+        """
+        last = len(self.linears) - 1
+        for index in range(layer_index, last + 1):
+            if index != layer_index:
+                x = self.linears[index].infer(x)
+            x = self.norms[index].infer(x)
+            if index != last or self.final_activation:
+                x = self.activations[index].infer(x)
+        return x
+
 
 class _NoOp(Module):
     """Placeholder module used when batch normalisation is disabled."""
 
     def forward(self, x: Tensor) -> Tensor:
+        return x
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
         return x

@@ -44,7 +44,7 @@ class BatchNorm1d(Module):
         """
         if x.ndim != 2 or x.shape[1] != self.num_features:
             raise ValueError(f"BatchNorm1d expected (batch, {self.num_features}), got {x.shape}")
-        if self.training:
+        if self.effective_training:
             mean = x.mean(axis=0, keepdims=True)
             centred = x - mean
             var = (centred * centred).mean(axis=0, keepdims=True)
@@ -60,6 +60,17 @@ class BatchNorm1d(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         return self.normalise(x) * self.gamma + self.beta
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        """Eval-mode batch norm on a raw array (the graph-free serving path).
+
+        Mirrors the eval branch of :meth:`normalise` followed by the affine
+        map, with the same operation order, so inference-kernel outputs match
+        the tensor path to float rounding.
+        """
+        centred = x - self.running_mean
+        normalised = centred * (1.0 / np.sqrt(self.running_var + self.eps))
+        return normalised * self.gamma.data + self.beta.data
 
     def __repr__(self) -> str:
         return f"BatchNorm1d({self.num_features})"

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Dict, Iterator, List, Optional, Tuple
 
@@ -10,7 +11,39 @@ import numpy as np
 from .parameter import Parameter
 from .tensor import Tensor
 
-__all__ = ["Module", "ModuleList", "Sequential"]
+__all__ = ["Module", "ModuleList", "Sequential", "inference_mode", "is_inference"]
+
+# Per-thread, like the ``no_grad`` flag in :mod:`repro.nn.tensor`: a serving
+# thread entering inference mode must not flip a training thread's batch-norm
+# or dropout behaviour on a *shared* model instance.
+_INFERENCE_STATE = threading.local()
+
+
+class inference_mode:
+    """Context manager forcing eval-time behaviour on the current thread.
+
+    Inside the block every mode-dependent layer (batch norm, dropout) behaves
+    as in ``eval()`` — running statistics, no activation masking — without
+    touching the module tree's ``training`` flags.  That is the property
+    concurrent serving needs: ``BaseCTRModel.predict`` on a model instance
+    shared by many threads used to flip ``self.eval()`` / ``self.train()``
+    around every forward, so a concurrent reader could observe train-mode
+    batch norm mid-inference (and corrupt the running statistics).  The flag
+    is thread-local, so training may continue on another thread unaffected.
+    """
+
+    def __enter__(self) -> "inference_mode":
+        self._previous = is_inference()
+        _INFERENCE_STATE.active = True
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        _INFERENCE_STATE.active = self._previous
+
+
+def is_inference() -> bool:
+    """Whether the current thread forces eval-time layer behaviour."""
+    return getattr(_INFERENCE_STATE, "active", False)
 
 
 class Module:
@@ -73,6 +106,16 @@ class Module:
 
     def eval(self) -> "Module":
         return self.train(False)
+
+    @property
+    def effective_training(self) -> bool:
+        """``training`` unless the current thread is in :class:`inference_mode`.
+
+        Mode-dependent layers must consult this (never ``self.training``
+        directly) so that thread-local inference — the concurrency-safe way
+        to run eval-time forwards on a shared model — actually reaches them.
+        """
+        return self.training and not is_inference()
 
     def zero_grad(self) -> None:
         for param in self.parameters():

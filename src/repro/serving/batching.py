@@ -30,10 +30,28 @@ import numpy as np
 from .. import nn
 from ..data.world import RequestContext
 from ..models.base import BaseCTRModel
+from ..models.two_tower import QUANTIZATIONS
 from .encoder import OnlineRequestEncoder
 from .state import ServingState
 
-__all__ = ["ScoreRequest", "RankedRequest", "BatchScorer"]
+__all__ = ["ScoreRequest", "RankedRequest", "ModelRef", "BatchScorer"]
+
+
+class ModelRef:
+    """Single mutable slot holding the live scoring model.
+
+    The ranker and its micro-batching scorer share one ref, so a model swap
+    is a single reference assignment observed by both at once — there is no
+    window in which the two disagree about which model serves (the previous
+    two-step ``ranker.model = m; scorer.model = m`` had one).  Scoring code
+    snapshots ``ref.model`` once per micro-batch, so each batch is scored
+    entirely by one model version.
+    """
+
+    __slots__ = ("model",)
+
+    def __init__(self, model: BaseCTRModel) -> None:
+        self.model = model
 
 
 @dataclass
@@ -64,21 +82,62 @@ class RankedRequest:
 
 
 class BatchScorer:
-    """Scores many concurrent requests with one forward pass per micro-batch."""
+    """Scores many concurrent requests with one forward pass per micro-batch.
+
+    When the model supports the two-tower split (``supports_two_tower``) and
+    ``two_tower`` is not ``False``, scoring takes the fused fast path: frozen
+    per-item tables (cached in the state's feature cache, keyed by the
+    model's serving uid) are gathered for the batch's candidates, the
+    user/context side is computed once per request, and one late-binding pass
+    produces the scores — see :mod:`repro.models.two_tower`.  Models that
+    cannot split exactly (the BASM family) transparently use the full
+    forward, as does ``two_tower=False`` (the parity oracle).
+    """
 
     def __init__(
         self,
-        model: BaseCTRModel,
+        model: Optional[BaseCTRModel],
         encoder: OnlineRequestEncoder,
         max_batch_rows: int = 2048,
+        two_tower: object = "auto",
+        item_table_quantization: str = "float32",
+        model_ref: Optional[ModelRef] = None,
     ) -> None:
         if max_batch_rows <= 0:
             raise ValueError("max_batch_rows must be positive")
-        self.model = model
+        if two_tower not in ("auto", True, False):
+            raise ValueError(f"two_tower must be 'auto', True or False, got {two_tower!r}")
+        if item_table_quantization not in QUANTIZATIONS:
+            raise ValueError(
+                f"item_table_quantization must be one of {QUANTIZATIONS}, "
+                f"got {item_table_quantization!r}"
+            )
+        if model_ref is None:
+            if model is None:
+                raise ValueError("provide either model or model_ref")
+            model_ref = ModelRef(model)
+        self._model_ref = model_ref
+        if two_tower is True and not self._model_ref.model.supports_two_tower:
+            raise ValueError(
+                f"two_tower=True but model {self._model_ref.model.name!r} does not "
+                f"support the two-tower split"
+            )
         self.encoder = encoder
         self.max_batch_rows = max_batch_rows
+        self.two_tower = two_tower
+        self.item_table_quantization = item_table_quantization
         self.batches_run = 0
         self.rows_scored = 0
+        self.fused_batches = 0
+
+    @property
+    def model(self) -> BaseCTRModel:
+        """The live model (read through the shared :class:`ModelRef`)."""
+        return self._model_ref.model
+
+    @model.setter
+    def model(self, model: BaseCTRModel) -> None:
+        self._model_ref.model = model
 
     # ------------------------------------------------------------------ #
     def _micro_batches(self, requests: Sequence[ScoreRequest]) -> List[List[int]]:
@@ -102,6 +161,23 @@ class BatchScorer:
             groups.append(current)
         return groups
 
+    def _item_tables(self, model: BaseCTRModel, state: ServingState):
+        """This model version's frozen item tables, built once per version.
+
+        Keyed by the model's ``serving_uid``, so the cache can never hand a
+        promoted model its predecessor's tables; ``hot_swap`` additionally
+        drops stale entries via ``invalidate_volatile``.
+        """
+        key = ("item_tower", model.name, model.serving_uid, self.item_table_quantization)
+
+        def build():
+            return model.precompute_item_tables(
+                self.encoder.item_static_table(state),
+                quantization=self.item_table_quantization,
+            )
+
+        return state.features.lookup_model_table(key, build)
+
     def score_many(
         self, requests: Sequence[ScoreRequest], state: ServingState
     ) -> List[np.ndarray]:
@@ -115,14 +191,25 @@ class BatchScorer:
                     results[index] = np.zeros(0, dtype=np.float32)
             if not non_empty:
                 continue
-            with nn.no_grad():
-                batch, offsets = self.encoder.encode_many(
-                    [requests[index].context for index in non_empty],
-                    [requests[index].candidates for index in non_empty],
-                    state,
-                    positions_list=[requests[index].positions for index in non_empty],
+            # One snapshot per micro-batch: a concurrent hot-swap flips the
+            # shared ref atomically, so this batch is scored entirely by one
+            # model version.
+            model = self._model_ref.model
+            contexts = [requests[index].context for index in non_empty]
+            candidate_lists = [requests[index].candidates for index in non_empty]
+            positions_list = [requests[index].positions for index in non_empty]
+            if self.two_tower is not False and model.supports_two_tower:
+                split_batch, offsets = self.encoder.encode_split(
+                    contexts, candidate_lists, state, positions_list=positions_list
                 )
-                scores = self.model.predict(batch)
+                scores = model.score_two_tower(split_batch, self._item_tables(model, state))
+                self.fused_batches += 1
+            else:
+                with nn.no_grad():
+                    batch, offsets = self.encoder.encode_many(
+                        contexts, candidate_lists, state, positions_list=positions_list
+                    )
+                    scores = model.predict(batch)
             self.batches_run += 1
             self.rows_scored += int(offsets[-1])
             for slot, index in enumerate(non_empty):

@@ -200,27 +200,19 @@ class OnlineRequestEncoder:
                                     positions_list=[positions])
         return batch
 
-    def encode_many(
+    def _assemble(
         self,
         contexts: Sequence[RequestContext],
         candidate_lists: Sequence[np.ndarray],
         state: ServingState,
         positions_list: Optional[Sequence[Optional[np.ndarray]]] = None,
-    ) -> Tuple[Dict[str, np.ndarray], np.ndarray]:
-        """Stack many concurrent requests into one flat model batch.
+    ) -> Dict[str, np.ndarray]:
+        """Shared feature assembly behind ``encode_many`` / ``encode_split``.
 
-        Every candidate of every request becomes one batch row; behaviour
-        sequences are already padded to ``schema.max_sequence_length``, so
-        stacking needs no further padding.  All candidate-dependent features
-        are assembled with one vectorised pass over the concatenated
-        candidate axis (no per-candidate Python loops), and the behaviour
-        sequence of each request is emitted once in ``behavior_unique`` with
-        a ``behavior_row_map`` so models can share the sequence computation
-        across that request's candidates.
-
-        Returns ``(batch, offsets)`` where ``offsets`` has
-        ``len(contexts) + 1`` entries and request ``i`` owns rows
-        ``offsets[i]:offsets[i + 1]``.
+        Computes every request-level and row-level id array exactly once;
+        the two public encoders only differ in packaging (broadcast flat
+        batch vs request-factored split batch), so they cannot drift apart
+        feature-wise.
         """
         if len(contexts) != len(candidate_lists):
             raise ValueError("contexts and candidate_lists must have equal length")
@@ -310,12 +302,60 @@ class OnlineRequestEncoder:
             mask_unique[slot] = mask
             st_mask_unique[slot] = st_mask
 
+        return {
+            "num_requests": num_requests,
+            "offsets": offsets,
+            "row_map": row_map,
+            "candidates": flat_candidates,
+            "positions": positions,
+            "user_rows": self._user_rows(users, state),
+            "context_rows": self._context_rows(contexts),
+            "item_field": item_field,
+            "combine_field": combine_field,
+            "behavior_unique": behavior_unique,
+            "behavior_mask_unique": mask_unique,
+            "behavior_st_mask_unique": st_mask_unique,
+            "behavior_row_map": behavior_row_map,
+            "periods": periods,
+            "cities": cities,
+            "hours": hours,
+        }
+
+    def encode_many(
+        self,
+        contexts: Sequence[RequestContext],
+        candidate_lists: Sequence[np.ndarray],
+        state: ServingState,
+        positions_list: Optional[Sequence[Optional[np.ndarray]]] = None,
+    ) -> Tuple[Dict[str, np.ndarray], np.ndarray]:
+        """Stack many concurrent requests into one flat model batch.
+
+        Every candidate of every request becomes one batch row; behaviour
+        sequences are already padded to ``schema.max_sequence_length``, so
+        stacking needs no further padding.  All candidate-dependent features
+        are assembled with one vectorised pass over the concatenated
+        candidate axis (no per-candidate Python loops), and the behaviour
+        sequence of each request is emitted once in ``behavior_unique`` with
+        a ``behavior_row_map`` so models can share the sequence computation
+        across that request's candidates.
+
+        Returns ``(batch, offsets)`` where ``offsets`` has
+        ``len(contexts) + 1`` entries and request ``i`` owns rows
+        ``offsets[i]:offsets[i + 1]``.
+        """
+        parts = self._assemble(contexts, candidate_lists, state, positions_list)
+        row_map = parts["row_map"]
+        behavior_row_map = parts["behavior_row_map"]
+        behavior_unique = parts["behavior_unique"]
+        mask_unique = parts["behavior_mask_unique"]
+        st_mask_unique = parts["behavior_st_mask_unique"]
+        total = len(row_map)
         batch = {
             "fields": {
-                FieldName.USER: self._user_rows(users, state)[row_map],
-                FieldName.CANDIDATE_ITEM: item_field,
-                FieldName.CONTEXT: self._context_rows(contexts)[row_map],
-                FieldName.COMBINE: combine_field,
+                FieldName.USER: parts["user_rows"][row_map],
+                FieldName.CANDIDATE_ITEM: parts["item_field"],
+                FieldName.CONTEXT: parts["context_rows"][row_map],
+                FieldName.COMBINE: parts["combine_field"],
             },
             "behavior": behavior_unique[behavior_row_map],
             "behavior_mask": mask_unique[behavior_row_map],
@@ -325,10 +365,46 @@ class OnlineRequestEncoder:
             "behavior_st_mask_unique": st_mask_unique,
             "behavior_row_map": behavior_row_map,
             "labels": np.zeros(total, dtype=np.float32),
-            "time_period": row_periods,
-            "city": cities[row_map],
-            "hour": hours[row_map],
+            "time_period": parts["periods"][row_map],
+            "city": parts["cities"][row_map],
+            "hour": parts["hours"][row_map],
             "session": row_map.copy(),
-            "position": positions,
+            "position": parts["positions"],
         }
-        return batch, offsets
+        return batch, parts["offsets"]
+
+    def encode_split(
+        self,
+        contexts: Sequence[RequestContext],
+        candidate_lists: Sequence[np.ndarray],
+        state: ServingState,
+        positions_list: Optional[Sequence[Optional[np.ndarray]]] = None,
+    ) -> Tuple[Dict[str, np.ndarray], np.ndarray]:
+        """Request-factored batch for the two-tower serving fast path.
+
+        Same features as :meth:`encode_many` but *not* broadcast onto
+        candidate rows: per-request arrays (``user_rows``, ``context_rows``,
+        the deduplicated behaviour sequences) stay one row per request, and
+        per-row arrays carry only what genuinely varies per candidate
+        (``candidates`` for the frozen item-table gather, the dynamic tail of
+        ``item_field``, ``combine_ids``).  ``row_map`` maps rows to requests
+        for the late-binding broadcast inside ``score_two_tower``.
+
+        Returns ``(split_batch, offsets)`` with the same offsets contract as
+        :meth:`encode_many`.
+        """
+        parts = self._assemble(contexts, candidate_lists, state, positions_list)
+        split_batch = {
+            "num_requests": parts["num_requests"],
+            "row_map": parts["row_map"],
+            "candidates": parts["candidates"],
+            "user_rows": parts["user_rows"],
+            "context_rows": parts["context_rows"],
+            "item_field": parts["item_field"],
+            "combine_ids": parts["combine_field"],
+            "behavior_unique": parts["behavior_unique"],
+            "behavior_mask_unique": parts["behavior_mask_unique"],
+            "behavior_st_mask_unique": parts["behavior_st_mask_unique"],
+            "behavior_row_map": parts["behavior_row_map"],
+        }
+        return split_batch, parts["offsets"]

@@ -226,9 +226,9 @@ class StageMetrics:
         """Per-call latency percentiles (seconds) for one stage, e.g. ``p50``."""
         latencies = self._stages[stage].latencies
         if not latencies:
-            return {f"p{int(p)}": 0.0 for p in percentiles}
+            return {f"p{p:g}": 0.0 for p in percentiles}
         values = np.percentile(np.asarray(latencies, dtype=np.float64), list(percentiles))
-        return {f"p{int(p)}": float(v) for p, v in zip(percentiles, values)}
+        return {f"p{p:g}": float(v) for p, v in zip(percentiles, values)}
 
     def rows(self) -> List[Dict[str, object]]:
         """One table row per stage (latencies in milliseconds)."""

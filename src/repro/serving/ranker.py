@@ -14,7 +14,7 @@ import numpy as np
 from ..data.world import RequestContext
 from ..features.schema import FeatureSchema
 from ..models.base import BaseCTRModel
-from .batching import BatchScorer, RankedRequest, ScoreRequest
+from .batching import BatchScorer, ModelRef, RankedRequest, ScoreRequest
 from .encoder import OnlineRequestEncoder
 from .state import FeatureCache, ServingState
 
@@ -47,24 +47,50 @@ def hot_swap(
 
 
 class Ranker:
-    """Scores recalled candidates with a trained CTR model and ranks them."""
+    """Scores recalled candidates with a trained CTR model and ranks them.
+
+    ``two_tower`` selects the rank hot path: ``"auto"`` (default) uses the
+    fused two-tower scorer for models that support the exact split and the
+    full forward otherwise; ``False`` forces the full forward everywhere
+    (the parity oracle); ``True`` requires a splittable model.
+    ``item_table_quantization`` picks the storage dtype of the frozen item
+    tables (``float32`` / ``float16`` / ``int8``, see
+    :mod:`repro.models.two_tower` for the documented score-diff bands).
+    """
 
     def __init__(self, model: BaseCTRModel, encoder: OnlineRequestEncoder,
-                 max_batch_rows: int = 2048) -> None:
-        self.model = model
+                 max_batch_rows: int = 2048, two_tower: object = "auto",
+                 item_table_quantization: str = "float32") -> None:
+        self._model_ref = ModelRef(model)
         self.encoder = encoder
-        self.scorer = BatchScorer(model, encoder, max_batch_rows=max_batch_rows)
+        self.scorer = BatchScorer(
+            model, encoder, max_batch_rows=max_batch_rows,
+            two_tower=two_tower,
+            item_table_quantization=item_table_quantization,
+            model_ref=self._model_ref,
+        )
+
+    @property
+    def model(self) -> BaseCTRModel:
+        """The live model; the scorer reads the same shared slot."""
+        return self._model_ref.model
+
+    @model.setter
+    def model(self, model: BaseCTRModel) -> None:
+        self._model_ref.model = model
 
     def swap_model(self, model: BaseCTRModel) -> BaseCTRModel:
-        """Replace the scoring model in place and return the previous one.
+        """Replace the scoring model atomically and return the previous one.
 
-        Both the ranker and its micro-batching scorer point at the new model
-        atomically (single-threaded simulation), so in-flight request lists
-        are either scored entirely by the old model or entirely by the new.
+        The ranker and its micro-batching scorer share one :class:`ModelRef`,
+        so the swap is a single reference assignment: concurrent scoring
+        threads snapshot the ref once per micro-batch and score each batch
+        entirely with one model version.  Frozen two-tower item tables are
+        keyed by model identity (``serving_uid``), so the incoming model can
+        never be served against the outgoing model's tables.
         """
-        previous = self.model
-        self.model = model
-        self.scorer.model = model
+        previous = self._model_ref.model
+        self._model_ref.model = model
         return previous
 
     def score(self, context: RequestContext, candidates: np.ndarray,

@@ -218,9 +218,11 @@ class EmbeddingANNChannel(RecallChannel):
 
     @staticmethod
     def _normalize(embeddings: np.ndarray) -> np.ndarray:
-        embeddings = np.asarray(embeddings, dtype=np.float64)
+        # float32 end to end: the export is float32 (the serving dtype) and
+        # keeping it avoids a silent 2x memory blow-up of the ANN matrix.
+        embeddings = np.asarray(embeddings, dtype=np.float32)
         norms = np.linalg.norm(embeddings, axis=1, keepdims=True)
-        return embeddings / np.maximum(norms, 1e-12)
+        return (embeddings / np.maximum(norms, 1e-12)).astype(np.float32)
 
     @classmethod
     def from_model(cls, world: SyntheticWorld, encoder, model, state: ServingState,

@@ -219,6 +219,20 @@ class TestStageMetrics:
     def test_empty_metrics_summary(self):
         assert "no stage telemetry" in StageMetrics().summary()
 
+    def test_fractional_percentile_keys_do_not_collide(self):
+        """Regression: keys were formatted ``f"p{int(p)}"``, so p99.9 silently
+        overwrote / collided with p99 and fractional tails were unreportable."""
+        metrics = StageMetrics()
+        for index in range(1000):
+            metrics.record("rank", 0.001 * index, requests=1, items_in=1, items_out=1)
+        pct = metrics.latency_percentiles("rank", (50, 99, 99.9))
+        assert set(pct) == {"p50", "p99", "p99.9"}
+        assert pct["p99"] < pct["p99.9"]
+        # Empty stages keep the same (untruncated) key shape.
+        empty = StageMetrics()
+        empty.record("recall", 0.0, requests=1, items_in=0, items_out=0)
+        assert set(empty.latency_percentiles("recall", (99, 99.9))) == {"p99", "p99.9"}
+
     def test_merge_combines_per_worker_accumulators(self):
         left = StageMetrics()
         right = StageMetrics()

@@ -1,0 +1,320 @@
+"""Two-tower split serving: parity, quantization bands, caching, atomic swap.
+
+The fast path's contract (see ``repro/models/two_tower.py``):
+
+* fused scores match the full forward within 1e-6 (float32 tables);
+* ``float16`` / ``int8`` tables stay within their documented bands;
+* frozen tables are keyed by model version and dropped on hot-swap;
+* unsupported models (the BASM family) fall back to the full forward;
+* model swaps are atomic through the shared :class:`ModelRef`.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.data import LogGenerator
+from repro.models import create_model
+from repro.models.two_tower import ItemTable
+from repro.serving import (
+    BatchScorer,
+    ModelRef,
+    OnlineRequestEncoder,
+    Ranker,
+    ScoreRequest,
+    ServingState,
+    generate_burst,
+    hot_swap,
+)
+
+SUPPORTED = ("wide_deep", "din", "base_din")
+
+
+@pytest.fixture()
+def serving_setup(eleme_dataset):
+    """Fresh state + encoder per test (cache-count assertions need isolation)."""
+    generator = LogGenerator(eleme_dataset.world, eleme_dataset.config.log_config())
+    state = ServingState.from_log_generator(generator, eleme_dataset.log)
+    encoder = OnlineRequestEncoder(eleme_dataset.world, eleme_dataset.schema)
+    return state, encoder
+
+
+def _burst(eleme_dataset, n=30, recall_size=12, seed=3):
+    return generate_burst(eleme_dataset.world, n, recall_size=recall_size, seed=seed)
+
+
+class TestFusedParity:
+    @pytest.mark.parametrize("model_name", SUPPORTED)
+    def test_fused_matches_full_forward(self, eleme_dataset, small_model_config,
+                                        serving_setup, model_name):
+        """Float32 fused scores equal the exact forward within 1e-6."""
+        state, encoder = serving_setup
+        model = create_model(model_name, eleme_dataset.schema, small_model_config)
+        requests = _burst(eleme_dataset)
+
+        fused = BatchScorer(model, encoder, max_batch_rows=128)
+        oracle = BatchScorer(model, encoder, max_batch_rows=128, two_tower=False)
+        fused_scores = fused.score_many(requests, state)
+        oracle_scores = oracle.score_many(requests, state)
+        assert fused.fused_batches > 0
+        assert oracle.fused_batches == 0
+        for left, right in zip(fused_scores, oracle_scores):
+            np.testing.assert_allclose(left, right, atol=1e-6)
+
+    @pytest.mark.parametrize("quantization,band", [("float16", 1e-4), ("int8", 5e-3)])
+    def test_quantized_tables_stay_in_band(self, eleme_dataset, small_model_config,
+                                           serving_setup, quantization, band):
+        """The documented score-diff bands for quantised item tables hold."""
+        state, encoder = serving_setup
+        model = create_model("base_din", eleme_dataset.schema, small_model_config)
+        requests = _burst(eleme_dataset)
+
+        exact = BatchScorer(model, encoder).score_many(requests, state)
+        quantized = BatchScorer(
+            model, encoder, item_table_quantization=quantization
+        ).score_many(requests, state)
+        worst = max(
+            np.abs(left - right).max() if len(left) else 0.0
+            for left, right in zip(exact, quantized)
+        )
+        assert worst <= band
+
+    def test_quantized_tables_shrink(self, eleme_dataset, small_model_config,
+                                     serving_setup):
+        state, encoder = serving_setup
+        model = create_model("base_din", eleme_dataset.schema, small_model_config)
+        table = encoder.item_static_table(state)
+        exact = model.precompute_item_tables(table)
+        half = model.precompute_item_tables(table, quantization="float16")
+        int8 = model.precompute_item_tables(table, quantization="int8")
+        assert half.nbytes <= exact.nbytes / 2 + 1
+        assert int8.nbytes <= exact.nbytes / 2
+        assert int8.nbytes < half.nbytes
+
+    def test_unsupported_model_falls_back(self, eleme_dataset, small_model_config,
+                                          serving_setup):
+        """BASM cannot split exactly; the scorer silently uses the full forward."""
+        state, encoder = serving_setup
+        model = create_model("basm", eleme_dataset.schema, small_model_config)
+        assert not model.supports_two_tower
+        scorer = BatchScorer(model, encoder)
+        scores = scorer.score_many(_burst(eleme_dataset, 8), state)
+        assert scorer.fused_batches == 0
+        assert scorer.batches_run > 0
+        assert all(len(s) for s in scores)
+
+    def test_two_tower_true_requires_support(self, eleme_dataset, small_model_config,
+                                             serving_setup):
+        state, encoder = serving_setup
+        model = create_model("basm", eleme_dataset.schema, small_model_config)
+        with pytest.raises(ValueError, match="does not support"):
+            BatchScorer(model, encoder, two_tower=True)
+
+    def test_invalid_options_rejected(self, eleme_dataset, small_model_config,
+                                      serving_setup):
+        state, encoder = serving_setup
+        model = create_model("din", eleme_dataset.schema, small_model_config)
+        with pytest.raises(ValueError):
+            BatchScorer(model, encoder, two_tower="yes")
+        with pytest.raises(ValueError):
+            BatchScorer(model, encoder, item_table_quantization="int4")
+        with pytest.raises(ValueError):
+            ItemTable(np.zeros((4, 2), dtype=np.float32), quantization="bf16")
+        with pytest.raises(ValueError):
+            ItemTable(np.zeros(4, dtype=np.float32))
+
+
+class TestFusedEdgeCases:
+    def test_empty_candidates(self, eleme_dataset, small_model_config, serving_setup):
+        state, encoder = serving_setup
+        model = create_model("base_din", eleme_dataset.schema, small_model_config)
+        requests = _burst(eleme_dataset, 4)
+        requests[1] = ScoreRequest(requests[1].context, np.zeros(0, dtype=np.int64))
+        scores = BatchScorer(model, encoder).score_many(requests, state)
+        assert len(scores[1]) == 0
+        assert all(len(scores[i]) == len(requests[i]) for i in (0, 2, 3))
+
+    def test_top_k_exceeds_pool(self, eleme_dataset, small_model_config, serving_setup):
+        state, encoder = serving_setup
+        model = create_model("base_din", eleme_dataset.schema, small_model_config)
+        requests = _burst(eleme_dataset, 3, recall_size=5)
+        ranked = Ranker(model, encoder).rank_many(requests, state, top_k=50)
+        for request, result in zip(requests, ranked):
+            assert len(result.items) == len(request.candidates)
+            assert np.all(np.diff(result.scores) <= 0)
+
+    def test_batch_composition_invariance(self, eleme_dataset, small_model_config,
+                                          serving_setup):
+        """A request scores byte-identically alone and inside a micro-batch.
+
+        The cluster's response-cache/byte-parity guarantees rest on this:
+        fused partial products replicate the Linear layer's gemv-avoidance
+        guards, so scores cannot drift with micro-batch packing.
+        """
+        state, encoder = serving_setup
+        model = create_model("base_din", eleme_dataset.schema, small_model_config)
+        requests = _burst(eleme_dataset, 6)
+        requests[0] = ScoreRequest(requests[0].context, requests[0].candidates[:1])
+        packed = BatchScorer(model, encoder, max_batch_rows=4096).score_many(requests, state)
+        for index, request in enumerate(requests):
+            alone = BatchScorer(model, encoder).score_many([request], state)[0]
+            assert np.array_equal(alone, packed[index])
+
+    def test_chunked_predict_parity_on_supporting_model(self, eleme_dataset,
+                                                        small_model_config,
+                                                        serving_setup):
+        """Full-forward chunked predict still matches whole-batch (oracle path)."""
+        state, encoder = serving_setup
+        model = create_model("base_din", eleme_dataset.schema, small_model_config)
+        requests = _burst(eleme_dataset, 10)
+        batch, _ = encoder.encode_many(
+            [r.context for r in requests], [r.candidates for r in requests], state
+        )
+        whole = model.predict(batch)
+        for chunk in (1, 17):
+            np.testing.assert_allclose(
+                model.predict(batch, micro_batch_size=chunk), whole, atol=1e-8
+            )
+
+
+class TestItemTableCache:
+    def test_tables_frozen_once_per_version(self, eleme_dataset, small_model_config,
+                                            serving_setup):
+        state, encoder = serving_setup
+        model = create_model("din", eleme_dataset.schema, small_model_config)
+        scorer = BatchScorer(model, encoder)
+        requests = _burst(eleme_dataset, 6)
+        scorer.score_many(requests, state)
+        assert state.features.num_model_tables == 1
+        scorer.score_many(requests, state)
+        assert state.features.num_model_tables == 1  # reused, not rebuilt
+
+    def test_hot_swap_drops_and_rebuilds_tables(self, eleme_dataset, small_model_config,
+                                                serving_setup):
+        """Promotion invalidates frozen tables; the new model's are rebuilt
+        and its fused scores match its own full forward (no stale tables)."""
+        state, encoder = serving_setup
+        schema = eleme_dataset.schema
+        old = create_model("base_din", schema, small_model_config)
+        ranker = Ranker(old, encoder)
+        requests = _burst(eleme_dataset, 8)
+        ranker.score_many(requests, state)
+        assert state.features.num_model_tables == 1
+
+        new = create_model("base_din", schema, small_model_config)
+        for parameter in new.parameters():
+            parameter.data += 0.05  # genuinely different weights
+        previous = hot_swap(ranker, schema, state.features, new)
+        assert previous is old
+        assert state.features.num_model_tables == 0
+
+        fused = ranker.score_many(requests, state)
+        assert state.features.num_model_tables == 1
+        oracle = BatchScorer(new, encoder, two_tower=False).score_many(requests, state)
+        for left, right in zip(fused, oracle):
+            np.testing.assert_allclose(left, right, atol=1e-6)
+
+    def test_distinct_models_use_distinct_tables(self, eleme_dataset,
+                                                 small_model_config, serving_setup):
+        state, encoder = serving_setup
+        first = create_model("din", eleme_dataset.schema, small_model_config)
+        second = create_model("din", eleme_dataset.schema, small_model_config)
+        assert first.serving_uid != second.serving_uid
+        requests = _burst(eleme_dataset, 4)
+        BatchScorer(first, encoder).score_many(requests, state)
+        BatchScorer(second, encoder).score_many(requests, state)
+        assert state.features.num_model_tables == 2
+
+    def test_load_state_dict_mints_new_serving_uid(self, eleme_dataset,
+                                                   small_model_config):
+        model = create_model("din", eleme_dataset.schema, small_model_config)
+        uid = model.serving_uid
+        model.load_state_dict(model.state_dict())
+        assert model.serving_uid != uid
+
+
+class TestModelRefSwap:
+    def test_ranker_and_scorer_share_one_slot(self, eleme_dataset, small_model_config,
+                                              serving_setup):
+        _, encoder = serving_setup
+        first = create_model("din", eleme_dataset.schema, small_model_config)
+        second = create_model("din", eleme_dataset.schema, small_model_config)
+        ranker = Ranker(first, encoder)
+        assert ranker.model is first and ranker.scorer.model is first
+        previous = ranker.swap_model(second)
+        assert previous is first
+        assert ranker.model is second and ranker.scorer.model is second
+        # Assigning through either property writes the same shared slot.
+        ranker.scorer.model = first
+        assert ranker.model is first
+
+    def test_standalone_scorer_accepts_shared_ref(self, eleme_dataset,
+                                                  small_model_config, serving_setup):
+        _, encoder = serving_setup
+        model = create_model("din", eleme_dataset.schema, small_model_config)
+        ref = ModelRef(model)
+        scorer = BatchScorer(None, encoder, model_ref=ref)
+        assert scorer.model is model
+        with pytest.raises(ValueError, match="model or model_ref"):
+            BatchScorer(None, encoder)
+
+
+class TestThreadSafePredict:
+    def test_predict_never_flips_shared_training_mode(self, eleme_dataset,
+                                                      small_model_config,
+                                                      serving_setup, tiny_batch):
+        """predict() must not mutate ``self.training`` (shared across threads).
+
+        The old implementation flipped ``self.eval()`` / ``self.train()``
+        around every call, so a concurrent trainer — or a second serving
+        worker — could observe eval mode mid-step or have its mode clobbered.
+        Inference semantics are now a thread-local (``nn.inference_mode``).
+        """
+        model = create_model("base_din", eleme_dataset.schema, small_model_config)
+        model.train()
+        observed_eval = threading.Event()
+        stop = threading.Event()
+
+        def watch():
+            while not stop.is_set():
+                if not model.training:
+                    observed_eval.set()
+
+        watcher = threading.Thread(target=watch)
+        watcher.start()
+        try:
+            reference = model.predict(tiny_batch)
+            for _ in range(10):
+                np.testing.assert_array_equal(model.predict(tiny_batch), reference)
+        finally:
+            stop.set()
+            watcher.join()
+        assert not observed_eval.is_set()
+        assert model.training
+
+    def test_concurrent_predicts_agree(self, eleme_dataset, small_model_config,
+                                       tiny_batch):
+        model = create_model("base_din", eleme_dataset.schema, small_model_config)
+        model.train()  # worst case: training mode left on by a trainer thread
+        reference = model.predict(tiny_batch)
+        results = [None] * 8
+        errors = []
+
+        def work(slot):
+            try:
+                for _ in range(5):
+                    results[slot] = model.predict(tiny_batch)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=work, args=(slot,)) for slot in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        for result in results:
+            np.testing.assert_array_equal(result, reference)
