@@ -30,6 +30,7 @@ from repro.data import (
 from repro.models import ModelConfig, create_model
 from repro.serving import OnlineRequestEncoder, ServingState
 from repro.training import TrainConfig, Trainer
+from repro.utils import atomic_write_text
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
@@ -58,7 +59,7 @@ else:
 def save_result(name: str, text: str) -> None:
     """Print a regenerated table and persist it under ``results/``."""
     RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    atomic_write_text(RESULTS_DIR / f"{name}.txt", text + "\n")
     print(f"\n===== {name} =====\n{text}\n")
 
 
@@ -72,8 +73,9 @@ def save_bench_json(name: str, metrics: dict) -> None:
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     payload = {"benchmark": name, "scale": _SCALE, "metrics": metrics}
-    (RESULTS_DIR / f"BENCH_{name}.json").write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    atomic_write_text(
+        RESULTS_DIR / f"BENCH_{name}.json",
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
     )
 
 

@@ -1,0 +1,31 @@
+"""Repo-root pytest hooks: knobs shared by the test and benchmark tiers.
+
+``--fsync`` selects the journal durability policy the fault-injection tier
+runs under (``tests/serving/test_durability.py``).  CI pins
+``--fsync every-write`` so the crash-recovery proofs exercise the strictest
+policy; locally the default is the same, but ``--fsync interval`` or
+``--fsync off`` re-runs the tier under the laxer policies (the tests that
+*require* commit-on-append durability downgrade themselves accordingly).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving.durable import FSYNC_POLICIES
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--fsync",
+        action="store",
+        default="every-write",
+        choices=FSYNC_POLICIES,
+        help="journal fsync policy for the durability test tier",
+    )
+
+
+@pytest.fixture(scope="session")
+def fsync_policy(request: pytest.FixtureRequest) -> str:
+    """The journal fsync policy selected on the command line."""
+    return str(request.config.getoption("--fsync"))

@@ -30,6 +30,7 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from ..features.schema import FeatureSchema
+from ..utils import atomic_savez
 from .base import BaseCTRModel, ModelConfig
 from .registry import create_model
 
@@ -111,7 +112,9 @@ def save_checkpoint(
     state = model.state_dict()
     if _MANIFEST_KEY in state:
         raise ValueError(f"state dict must not use the reserved key {_MANIFEST_KEY!r}")
-    np.savez(path, **{_MANIFEST_KEY: np.array(manifest.to_json())}, **state)
+    # Publish atomically: a crash mid-write must never leave a truncated
+    # archive where ModelStore.versions() (or any reader) would find it.
+    atomic_savez(path, {_MANIFEST_KEY: np.array(manifest.to_json()), **state})
     return path
 
 

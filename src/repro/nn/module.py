@@ -168,14 +168,18 @@ class Module:
 
         The archive holds one array per parameter/buffer under its dotted
         state-dict name, so any tool that can read npz can inspect a
-        checkpoint.  ``numpy`` appends ``.npz`` when the path lacks it;
-        callers that need a predictable filename should pass one that
-        already ends in ``.npz``.
+        checkpoint.  Like ``numpy``, ``.npz`` is appended when the path
+        lacks it; callers that need a predictable filename should pass one
+        that already ends in ``.npz``.  The write is atomic
+        (:func:`repro.utils.atomic_savez`): a crash mid-save leaves any
+        previous archive at ``path`` intact, never a truncated one.
         """
+        from ..utils import atomic_savez
+
         state = self.state_dict()
         if not state:
             raise ValueError("refusing to save an empty state dict")
-        np.savez(path, **state)
+        atomic_savez(path, state)
 
     def load_npz(self, path, strict: bool = True) -> None:
         """Load parameters/buffers saved by :meth:`save_npz` in place."""

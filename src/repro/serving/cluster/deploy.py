@@ -63,6 +63,10 @@ class DeployReport:
     shards: List[ShardDeployResult] = field(default_factory=list)
     completed: bool = False
     rolled_back: bool = False
+    #: Snapshot generation published before the first swap (durable clusters
+    #: only): the warm-rollback point — a crash mid-deploy recovers the full
+    #: feedback window as of promotion start, not a cold state.
+    pre_deploy_snapshot: Optional[int] = None
 
     def summary(self) -> str:
         status = (
@@ -75,7 +79,11 @@ class DeployReport:
             f" v{shard.model_version} ({1e3 * shard.probe_seconds:.1f}ms)"
             for shard in self.shards
         )
-        return f"rolling deploy {status} — {detail or '(no shards)'}"
+        snapshot = (
+            f" [pre-deploy snapshot gen {self.pre_deploy_snapshot}]"
+            if self.pre_deploy_snapshot is not None else ""
+        )
+        return f"rolling deploy {status} — {detail or '(no shards)'}{snapshot}"
 
 
 class RollingDeployError(RuntimeError):
@@ -134,8 +142,15 @@ class RollingDeploy:
         Returns the per-shard report on success; raises
         :class:`RollingDeployError` after rolling all swapped shards back
         when any shard fails its swap or health probe.
+
+        On a durable cluster a snapshot generation is published *before* the
+        first swap: should the deploy (or the process) die mid-promotion,
+        recovery restarts from the full pre-deploy feedback window — a warm
+        rollback instead of a cold boot.
         """
         report = DeployReport()
+        if getattr(self.frontend, "durable", None) is not None:
+            report.pre_deploy_snapshot = self.frontend.snapshot().generation
         swapped: List[tuple] = []  # (worker, previous_model), in swap order
         for worker in self.frontend.workers.values():
             try:

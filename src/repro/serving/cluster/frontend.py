@@ -42,6 +42,7 @@ import numpy as np
 
 from ...data.world import RequestContext, SyntheticWorld
 from ...models.base import BaseCTRModel
+from ..durable import DurableStateStore
 from ..encoder import OnlineRequestEncoder
 from ..pipeline import (
     PipelineConfig,
@@ -91,6 +92,7 @@ class ClusterFrontend:
         cache: Optional[ResponseCache] = None,
         virtual_nodes: int = 64,
         autostart: bool = True,
+        durable: Optional[DurableStateStore] = None,
     ) -> None:
         if not workers:
             raise ValueError("a cluster needs at least one worker")
@@ -101,8 +103,13 @@ class ClusterFrontend:
             self.workers[worker.worker_id] = worker
         self.state = state
         self.cache = cache
+        #: The cluster's durable store (journal + snapshots), when persistence
+        #: is enabled: ``RollingDeploy`` snapshots through it before promoting
+        #: and :meth:`snapshot` exposes it for periodic checkpointing.
+        self.durable = durable
         self.ring = ConsistentHashRing(list(self.workers), virtual_nodes=virtual_nodes)
         self.cache_bypasses = 0
+        self.warmed_requests = 0
         if autostart:
             self.start()
 
@@ -199,6 +206,30 @@ class ClusterFrontend:
         return [future.result(timeout=timeout) for future in futures]
 
     # ------------------------------------------------------------------ #
+    # durability
+    # ------------------------------------------------------------------ #
+    def snapshot(self):
+        """Publish a snapshot generation of the shared state (durable only)."""
+        if self.durable is None:
+            raise RuntimeError("this cluster has no durable store attached")
+        return self.durable.snapshot(self.state)
+
+    def warm(self, requests: Sequence[Union[ServeRequest, RequestContext]],
+             timeout: float = 300.0) -> int:
+        """Prefill the response and feature caches by serving ``requests``.
+
+        The warm-boot path for a recovered cluster: serving the state's
+        recovered ``recent_contexts`` through the normal submit path fills
+        the response cache under each shard's current model version and
+        rebuilds the behaviour-snapshot cache entries, so the first real
+        burst hits like a warm process.  Stages never mutate serving state,
+        so warming is invisible apart from cache occupancy and telemetry.
+        """
+        self.serve_many(requests, timeout=timeout)
+        self.warmed_requests += len(requests)
+        return len(requests)
+
+    # ------------------------------------------------------------------ #
     # feedback
     # ------------------------------------------------------------------ #
     def feedback(self, response: ServeResponse, clicks: np.ndarray,
@@ -257,6 +288,8 @@ def build_cluster(
     default_scenario: Optional[str] = None,
     unknown_tag: str = "raise",
     autostart: bool = True,
+    durable: Optional[DurableStateStore] = None,
+    warm_on_boot: bool = True,
 ) -> ClusterFrontend:
     """Assemble N identical worker replicas behind one frontend.
 
@@ -271,6 +304,14 @@ def build_cluster(
     worker's engine is a :class:`ScenarioRouter` over per-scenario variants
     (all feeding that worker's accumulator); otherwise a single pipeline per
     ``pipeline_config``.
+
+    With ``durable`` the cluster's feedback path journals into that store:
+    ``state`` is attached (genesis snapshot included when the store is
+    empty — recovered states are already attached and skip this), the
+    frontend exposes ``snapshot()``, and ``RollingDeploy`` snapshots before
+    promoting.  ``warm_on_boot`` (with ``autostart``) serves the state's
+    ``recent_contexts`` once so a recovered cluster boots with warm
+    response/feature caches.
     """
     config = config or ClusterConfig()
     if scenario_configs is not None and not scenario_configs:
@@ -313,7 +354,12 @@ def build_cluster(
             ttl_seconds=config.cache_ttl_seconds,
             max_entries=config.cache_max_entries,
         )
-    return ClusterFrontend(
+    if durable is not None and state.journal is None:
+        durable.attach(state)
+    frontend = ClusterFrontend(
         workers, state, cache=cache,
-        virtual_nodes=config.virtual_nodes, autostart=autostart,
+        virtual_nodes=config.virtual_nodes, autostart=autostart, durable=durable,
     )
+    if durable is not None and warm_on_boot and autostart and state.recent_contexts:
+        frontend.warm(list(state.recent_contexts))
+    return frontend

@@ -1,0 +1,58 @@
+"""Durable serving state: feedback journal, snapshots, and crash recovery.
+
+The persistence layer under :class:`repro.serving.state.ServingState`:
+
+* :mod:`~repro.serving.durable.journal` — an append-only, CRC-guarded redo
+  log of every ``record_clicks`` mutation with dense sequence numbers and a
+  configurable fsync policy (``every-write`` / ``interval`` / ``off``);
+* :mod:`~repro.serving.durable.snapshot` — atomic (write-temp-then-rename),
+  checksummed npz+manifest snapshot generations with retention, plus
+  :func:`state_fingerprint`, the byte-equality oracle;
+* :mod:`~repro.serving.durable.recovery` — boot = latest valid snapshot ⊕
+  journal replay from its high-water mark, torn tails discarded, corrupt
+  snapshot generations skipped, caches re-warmed.
+
+The recovery invariant — **snapshot ⊕ journal replay ≡ live state** — is
+enforced by the fault-injection tier in ``tests/serving/test_durability.py``.
+"""
+
+from .journal import (
+    FSYNC_POLICIES,
+    JOURNAL_FORMAT_VERSION,
+    FeedbackEvent,
+    Journal,
+    JournalCorruptError,
+    JournalScan,
+    scan_journal,
+)
+from .recovery import DurableStateStore, RecoveryError, RecoveryReport, warm_caches
+from .snapshot import (
+    SNAPSHOT_FORMAT_VERSION,
+    SnapshotCorruptError,
+    SnapshotInfo,
+    SnapshotPayload,
+    SnapshotStore,
+    extract_payload,
+    state_fingerprint,
+)
+
+__all__ = [
+    "FSYNC_POLICIES",
+    "JOURNAL_FORMAT_VERSION",
+    "SNAPSHOT_FORMAT_VERSION",
+    "FeedbackEvent",
+    "Journal",
+    "JournalCorruptError",
+    "JournalScan",
+    "scan_journal",
+    "DurableStateStore",
+    "RecoveryError",
+    "RecoveryReport",
+    "warm_caches",
+    "SnapshotCorruptError",
+    "SnapshotInfo",
+    "SnapshotPayload",
+    "SnapshotStore",
+    "extract_payload",
+    "state_fingerprint",
+]

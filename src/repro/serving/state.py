@@ -21,8 +21,11 @@ material of the continuous-refresh lifecycle.
 from __future__ import annotations
 
 import threading
+from collections import deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Callable, Dict, Hashable, List, Optional, Tuple
+from typing import (
+    TYPE_CHECKING, Any, Callable, Deque, Dict, Hashable, List, Optional, Tuple,
+)
 
 import numpy as np
 
@@ -30,7 +33,8 @@ from ..data.log import ImpressionLog, LogGenerator
 from ..data.world import RequestContext, SyntheticWorld
 from ..features.time_features import TimePeriod
 
-if TYPE_CHECKING:  # pragma: no cover - type-only import (replay imports state)
+if TYPE_CHECKING:  # pragma: no cover - type-only imports (cycle guards)
+    from .durable.journal import Journal
     from .replay import ReplayBuffer
 
 __all__ = ["UserHistoryState", "FeatureCache", "ServingState"]
@@ -254,6 +258,18 @@ class ServingState:
         #: Optional impression log feeding the online-learning loop; attach
         #: one with :meth:`attach_replay` to start recording served traffic.
         self.replay: Optional["ReplayBuffer"] = None
+        #: Optional durable redo log; attach one with :meth:`attach_journal`
+        #: (or :meth:`repro.serving.durable.DurableStateStore.attach`) and
+        #: every ``record_clicks`` mutation is journaled before it applies.
+        self.journal: Optional["Journal"] = None
+        #: Sequence number of the last applied feedback mutation — the
+        #: journal high-water mark a snapshot records.  Counted even without
+        #: a journal so snapshots of in-memory-only states stay monotonic.
+        self.feedback_seq = 0
+        #: Recently fed-back request contexts, snapshot-persisted so a
+        #: recovered worker can re-warm the behaviour-snapshot cache for the
+        #: users that were active when the process died.
+        self.recent_contexts: Deque[RequestContext] = deque(maxlen=256)
 
     # ------------------------------------------------------------------ #
     @classmethod
@@ -313,6 +329,16 @@ class ServingState:
         self.replay = replay
         return replay
 
+    def attach_journal(self, journal: "Journal") -> "Journal":
+        """Start journaling every feedback mutation into ``journal``.
+
+        Prefer :meth:`repro.serving.durable.DurableStateStore.attach`, which
+        also aligns sequence numbers with the snapshot high-water mark and
+        publishes the genesis snapshot an adopted offline state needs.
+        """
+        self.journal = journal
+        return journal
+
     def record_clicks(self, context: RequestContext, items: np.ndarray, clicks: np.ndarray,
                       order_probability: float = 0.3,
                       rng: Optional[np.random.Generator] = None) -> None:
@@ -323,21 +349,57 @@ class ServingState:
         scored — no-click exposures included, since those are the negative
         examples incremental training needs.
 
-        The whole update — replay logging, history append, counter bumps,
-        version bump — happens under :attr:`lock`, so concurrent feedback
-        from cluster worker/client threads applies each click atomically
-        (pinned by the threaded-burst test in ``tests/serving/test_cluster.py``).
+        The whole update — journal append, replay logging, history append,
+        counter bumps, version bump — happens under :attr:`lock`, so
+        concurrent feedback from cluster worker/client threads applies each
+        click atomically (pinned by the threaded-burst test in
+        ``tests/serving/test_cluster.py``) and journal sequence numbers stay
+        dense.  The journal record is the commitment point: order outcomes
+        are drawn from ``rng`` *before* the append, so replaying the record
+        reproduces ``user_orders`` byte-identically without re-rolling.
+        """
+        with self.lock:
+            rng = rng if rng is not None else np.random.default_rng(0)
+            clicks_array = np.asarray(clicks)
+            clicked = np.where(clicks_array > 0)[0]
+            orders = np.fromiter(
+                (rng.random() < order_probability for _ in range(len(clicked))),
+                dtype=bool, count=len(clicked),
+            )
+            if self.journal is not None:
+                from .durable.journal import FeedbackEvent  # lazy: cycle guard
+
+                self.feedback_seq = self.journal.append(
+                    FeedbackEvent(
+                        context=context,
+                        items=np.asarray(items, dtype=np.int64),
+                        clicks=clicks_array,
+                        orders=orders,
+                    )
+                )
+            else:
+                self.feedback_seq += 1
+            self.apply_feedback(context, items, clicks_array, orders)
+
+    def apply_feedback(self, context: RequestContext, items: np.ndarray,
+                       clicks: np.ndarray, orders: np.ndarray) -> None:
+        """Apply one feedback mutation's effects — live path and journal replay.
+
+        ``orders`` holds the pre-drawn order outcome per clicked item (click
+        order); crash recovery calls this with journaled events, so it must
+        stay deterministic given its arguments.  Callers hold :attr:`lock`
+        (reentrant) or own the state exclusively, as recovery does.
         """
         with self.lock:
             if self.replay is not None:
                 self.replay.log(self, context, items, clicks)
-            rng = rng if rng is not None else np.random.default_rng(0)
+            self.recent_contexts.append(context)
             clicked = np.where(np.asarray(clicks) > 0)[0]
             if len(clicked) == 0:
                 return
             history = self.history(context.user_index)
             prefix = context.geohash[: self.geohash_match_prefix]
-            for index in clicked:
+            for slot, index in enumerate(clicked):
                 item = int(items[index])
                 history.append(
                     item,
@@ -351,6 +413,6 @@ class ServingState:
                 self.user_clicks[context.user_index] += 1
                 self.item_clicks[item] += 1
                 self.item_period_clicks[item, context.time_period] += 1
-                if rng.random() < order_probability:
+                if orders[slot]:
                     self.user_orders[context.user_index] += 1
             self.user_version[context.user_index] += 1

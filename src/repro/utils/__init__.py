@@ -1,0 +1,5 @@
+"""Small cross-cutting utilities shared by otherwise unrelated subsystems."""
+
+from .atomic import atomic_savez, atomic_write_text
+
+__all__ = ["atomic_savez", "atomic_write_text"]

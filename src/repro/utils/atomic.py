@@ -1,0 +1,90 @@
+"""Crash-safe file publication: write a temp file, then :func:`os.replace`.
+
+Every artefact a reader may open while a writer is mid-flight — model
+checkpoints, serving-state snapshots, benchmark result JSON — must become
+visible *atomically*: either the complete new file is there under its final
+name, or nothing is.  A plain ``open(path, "wb")`` truncates the destination
+first, so a crash (or a concurrent reader) between truncate and the last
+byte observes a torn file under a valid name.  The classic fix, used
+throughout this repo, is
+
+1. write the full payload to a hidden sibling (``.tmp-<name>``) in the same
+   directory (same filesystem, so the rename cannot degrade to copy+delete),
+2. flush and ``fsync`` it so the bytes are on disk before the name is, and
+3. ``os.replace`` it over the final path — atomic on POSIX and Windows.
+
+A crash before step 3 leaves only a ``.tmp-`` orphan that directory scans
+(for example :meth:`repro.models.store.ModelStore.versions`) never match; a
+crash after leaves the complete new file.  There is no in-between.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Mapping, Union
+
+import numpy as np
+
+__all__ = ["atomic_savez", "atomic_write_text"]
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Persist the rename itself (best effort; not all platforms allow it)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_savez(
+    path: Union[str, Path],
+    arrays: Mapping[str, np.ndarray],
+    compressed: bool = False,
+) -> Path:
+    """Atomically publish ``arrays`` as an ``.npz`` archive at ``path``.
+
+    Mirrors :func:`numpy.savez`'s habit of appending ``.npz`` to suffixless
+    paths so the returned path is always the one a reader should open.
+    The temp file is fully written and fsynced before the rename, so a crash
+    at any byte offset never leaves a truncated archive under the final name.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    temp_path = path.with_name(f".tmp-{path.name}")
+    writer = np.savez_compressed if compressed else np.savez
+    try:
+        with open(temp_path, "wb") as handle:
+            writer(handle, **arrays)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, path)
+    except BaseException:
+        temp_path.unlink(missing_ok=True)
+        raise
+    _fsync_directory(path.parent)
+    return path
+
+
+def atomic_write_text(path: Union[str, Path], text: str, encoding: str = "utf-8") -> Path:
+    """Atomically publish ``text`` at ``path`` (temp-write + rename)."""
+    path = Path(path)
+    temp_path = path.with_name(f".tmp-{path.name}")
+    try:
+        with open(temp_path, "w", encoding=encoding) as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, path)
+    except BaseException:
+        temp_path.unlink(missing_ok=True)
+        raise
+    _fsync_directory(path.parent)
+    return path

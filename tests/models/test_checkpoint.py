@@ -158,3 +158,80 @@ def test_model_store_missing_version_raises(eleme_dataset, tmp_path):
         store.load("base_din", eleme_dataset.schema)
     with pytest.raises(FileNotFoundError):
         store.manifest("nope")
+
+
+# ---------------------------------------------------------------------- #
+# atomic publication: a crash mid-write is never visible
+# ---------------------------------------------------------------------- #
+def _crash_mid_savez(monkeypatch):
+    """Make np.savez write a few bytes and die — the power cut mid-publish."""
+
+    def torn_savez(handle, **arrays):
+        handle.write(b"PK\x03\x04 torn checkpoint")
+        raise RuntimeError("injected crash mid-checkpoint-write")
+
+    monkeypatch.setattr(np, "savez", torn_savez)
+
+
+def test_crashed_publish_invisible_to_store(
+    eleme_dataset, small_model_config, tmp_path, monkeypatch
+):
+    """A publish that dies mid-write leaves no version behind — not a
+    truncated v0001 that ``latest``/``load`` would then trip over — and the
+    next publish still becomes v0001."""
+    store = ModelStore(tmp_path / "store")
+    model = create_model("base_din", eleme_dataset.schema, small_model_config)
+
+    with monkeypatch.context() as patch:
+        _crash_mid_savez(patch)
+        with pytest.raises(RuntimeError, match="injected crash"):
+            store.publish(model, step_count=10)
+
+    assert store.versions("base_din") == []
+    assert store.latest_version("base_din") is None
+    assert store.model_names() == []
+    # No torn bytes under the final name; the temp was cleaned up too.
+    model_dir = tmp_path / "store" / "base_din"
+    assert not list(model_dir.glob("v*.npz"))
+    assert not list(model_dir.glob(".tmp-*"))
+
+    published = store.publish(model, step_count=10)
+    assert published.version == 1
+    restored, _ = store.load("base_din", eleme_dataset.schema)
+    assert np.array_equal(
+        restored.parameters()[0].data, model.parameters()[0].data
+    )
+
+
+def test_crashed_resave_preserves_previous_checkpoint(
+    eleme_dataset, small_model_config, tmp_path, monkeypatch
+):
+    """Overwriting a checkpoint in place (Module.save_npz) must keep the old
+    bytes when the new write dies: readers see old-or-new, never torn."""
+    model = create_model("base_din", eleme_dataset.schema, small_model_config)
+    path = tmp_path / "weights.npz"
+    model.save_npz(path)
+    original = path.read_bytes()
+
+    model.parameters()[0].data = model.parameters()[0].data + 1.0
+    with monkeypatch.context() as patch:
+        _crash_mid_savez(patch)
+        with pytest.raises(RuntimeError, match="injected crash"):
+            model.save_npz(path)
+
+    assert path.read_bytes() == original  # untouched by the failed rewrite
+    model.load_npz(path)  # and still a fully valid archive
+
+
+def test_stale_temp_file_invisible_to_version_scan(
+    eleme_dataset, small_model_config, tmp_path
+):
+    """A `.tmp-` orphan from a hard kill (no cleanup ran) is never a version."""
+    store = ModelStore(tmp_path / "store")
+    model = create_model("base_din", eleme_dataset.schema, small_model_config)
+    store.publish(model)
+    model_dir = tmp_path / "store" / "base_din"
+    (model_dir / ".tmp-v0002.npz").write_bytes(b"half-written")
+    assert store.versions("base_din") == [1]
+    assert store.latest_version("base_din") == 1
+    store.load("base_din", eleme_dataset.schema)

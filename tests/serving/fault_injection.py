@@ -1,0 +1,103 @@
+"""Crash-injection helpers for the durability test tier.
+
+Three ways to hurt a durable store, mirroring the real failure modes:
+
+* :class:`TornFile` — an in-process journal writer that dies mid-``write``
+  after a byte budget, as an opener seam for :class:`repro.serving.durable.
+  Journal`: the classic power-cut-mid-append;
+* :func:`truncate_at` / :func:`corrupt_byte` — after-the-fact surgery on the
+  on-disk bytes, used to sweep every possible torn-tail offset and to flip
+  bits inside committed history or snapshot archives;
+* :func:`drive_feedback` — a deterministic feedback workload, so the same
+  mutation stream can be applied to a live state and replayed after a crash
+  and the two compared byte-for-byte with
+  :func:`repro.serving.durable.state_fingerprint`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import BinaryIO, List
+
+import numpy as np
+
+from repro.data.world import SyntheticWorld
+from repro.serving import ServingState
+
+
+class CrashError(RuntimeError):
+    """The injected failure: the process 'died' at this byte."""
+
+
+class TornFile:
+    """A file wrapper that writes at most ``budget`` bytes, then crashes.
+
+    Everything under the budget reaches the real file (and is flushed, so
+    the bytes survive the 'crash'); the first byte over it raises
+    :class:`CrashError` mid-write — exactly a torn append.
+    """
+
+    def __init__(self, handle: BinaryIO, budget: int) -> None:
+        self._handle = handle
+        self._remaining = int(budget)
+
+    def write(self, data: bytes) -> int:
+        if len(data) <= self._remaining:
+            self._remaining -= len(data)
+            return self._handle.write(data)
+        allowed = data[: self._remaining]
+        if allowed:
+            self._handle.write(allowed)
+        self._remaining = 0
+        self._handle.flush()
+        raise CrashError(f"torn write: {len(allowed)} of {len(data)} bytes landed")
+
+    def flush(self) -> None:
+        self._handle.flush()
+
+    def fileno(self) -> int:
+        return self._handle.fileno()
+
+    def close(self) -> None:
+        self._handle.close()
+
+
+def truncate_at(path, size: int) -> None:
+    """Cut ``path`` to ``size`` bytes — the on-disk shape of a torn tail."""
+    with open(path, "r+b") as handle:
+        handle.truncate(int(size))
+
+
+def corrupt_byte(path, offset: int) -> None:
+    """Flip one byte of ``path`` in place (bit rot / scrambled sector)."""
+    path = Path(path)
+    data = bytearray(path.read_bytes())
+    data[offset] ^= 0xFF
+    path.write_bytes(bytes(data))
+
+
+def drive_feedback(
+    state: ServingState,
+    world: SyntheticWorld,
+    seed: int,
+    count: int,
+    num_candidates: int = 4,
+    click_probability: float = 0.5,
+) -> List[int]:
+    """Apply ``count`` deterministic ``record_clicks`` mutations.
+
+    The whole stream — contexts, candidate items, click labels, and the
+    order draws inside ``record_clicks`` — comes from one seeded generator,
+    so two states driven with the same seed and count see identical
+    feedback.  Returns the users touched, in order.
+    """
+    rng = np.random.default_rng(seed)
+    num_items = world.config.num_items
+    users = []
+    for step in range(count):
+        context = world.sample_request_context(int(step % 3), rng)
+        items = rng.integers(0, num_items, size=num_candidates)
+        clicks = (rng.random(num_candidates) < click_probability).astype(np.float32)
+        state.record_clicks(context, items, clicks, rng=rng)
+        users.append(context.user_index)
+    return users

@@ -1,0 +1,120 @@
+"""ReplayBuffer edge cases: eviction at the bound, empty windows, and the
+durable-snapshot round-trip preserving entry order and dtypes exactly."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    OnlineRequestEncoder,
+    ReplayBuffer,
+    ServingState,
+)
+from repro.serving.durable.snapshot import apply_payload, extract_payload
+
+
+@pytest.fixture(scope="module")
+def replay_setup(eleme_dataset):
+    world = eleme_dataset.world
+    encoder = OnlineRequestEncoder(world, eleme_dataset.schema)
+    return world, encoder
+
+
+def log_impressions(state, world, count, num_candidates=3, seed=0):
+    rng = np.random.default_rng(seed)
+    for step in range(count):
+        context = world.sample_request_context(int(step % 3), rng)
+        items = rng.integers(0, world.config.num_items, size=num_candidates)
+        clicks = (rng.random(num_candidates) < 0.5).astype(np.float32)
+        state.record_clicks(context, items, clicks, rng=rng)
+
+
+class TestReplayEdges:
+    def test_eviction_exactly_at_bound(self, replay_setup):
+        world, encoder = replay_setup
+        state = ServingState(world)
+        replay = state.attach_replay(ReplayBuffer(encoder, max_impressions=3))
+
+        log_impressions(state, world, count=3)
+        labels_at_bound = [imp.labels.copy() for imp in replay._impressions]
+        assert len(replay) == 3  # full, nothing evicted yet
+
+        log_impressions(state, world, count=1, seed=99)
+        assert len(replay) == 3  # the bound holds...
+        assert replay.impressions_logged == 4  # ...lifetime counters do not
+        survivors = [imp.labels for imp in replay._impressions]
+        # Oldest-out: entries 2, 3 slid down, the new impression is last.
+        assert np.array_equal(survivors[0], labels_at_bound[1])
+        assert np.array_equal(survivors[1], labels_at_bound[2])
+
+    def test_bound_validation(self, replay_setup):
+        _, encoder = replay_setup
+        with pytest.raises(ValueError, match="positive"):
+            ReplayBuffer(encoder, max_impressions=0)
+
+    def test_merged_batch_on_empty_window_raises(self, replay_setup):
+        world, encoder = replay_setup
+        replay = ReplayBuffer(encoder, max_impressions=4)
+        with pytest.raises(ValueError, match="empty"):
+            replay.merged_batch()
+        state = ServingState(world)
+        state.attach_replay(replay)
+        log_impressions(state, world, count=2)
+        replay.clear()
+        with pytest.raises(ValueError, match="empty"):
+            replay.merged_batch()
+
+    def test_merged_batch_last_n_validation(self, replay_setup):
+        world, encoder = replay_setup
+        state = ServingState(world)
+        replay = state.attach_replay(ReplayBuffer(encoder, max_impressions=4))
+        log_impressions(state, world, count=2)
+        with pytest.raises(ValueError, match="positive"):
+            replay.merged_batch(last_n=0)
+        with pytest.raises(ValueError, match="positive"):
+            replay.merged_batch(last_n=-1)
+        assert len(replay.merged_batch(last_n=1)["labels"]) == 3
+
+    def test_snapshot_roundtrip_preserves_order_and_dtypes(self, replay_setup):
+        world, encoder = replay_setup
+        state = ServingState(world)
+        replay = state.attach_replay(ReplayBuffer(encoder, max_impressions=5))
+        log_impressions(state, world, count=8)  # 3 evicted: window is 4..8
+
+        payload = extract_payload(state)
+        restored_state = ServingState(world)
+        restored = ReplayBuffer(encoder, max_impressions=5)
+        apply_payload(restored_state, payload, replay=restored)
+
+        assert restored.max_impressions == replay.max_impressions
+        assert len(restored) == len(replay) == 5
+        assert restored.impressions_logged == replay.impressions_logged
+        assert restored.rows_logged == replay.rows_logged
+        assert restored.clicks_logged == replay.clicks_logged
+
+        for got, expected in zip(restored._impressions, replay._impressions):
+            assert got.day == expected.day
+            for name, array in expected.fields.items():
+                assert got.fields[name].dtype == np.int64
+                assert got.fields[name].tobytes() == array.tobytes()
+            for attribute in (
+                "behavior", "behavior_mask", "behavior_st_mask",
+                "labels", "time_period", "city", "hour", "position",
+            ):
+                got_array = getattr(got, attribute)
+                expected_array = getattr(expected, attribute)
+                assert got_array.dtype == expected_array.dtype, attribute
+                assert got_array.shape == expected_array.shape, attribute
+                assert got_array.tobytes() == expected_array.tobytes(), attribute
+        assert restored._impressions[0].labels.dtype == np.float32
+        assert restored._impressions[0].behavior_mask.dtype == np.float32
+
+        merged_before = replay.merged_batch()
+        merged_after = restored.merged_batch()
+        for name, value in merged_before.items():
+            if name == "fields":
+                for field, array in value.items():
+                    assert merged_after["fields"][field].tobytes() == array.tobytes()
+            else:
+                assert merged_after[name].tobytes() == value.tobytes()
