@@ -20,9 +20,19 @@ Three properties are asserted:
   on the same request set (score parity <= 1e-8, zero item mismatches);
 * replaying the identical burst against a cache-enabled cluster hits the
   response cache for virtually every repeat request.
+
+``test_process_cluster_scaling`` adds the process-worker curve: the same
+burst through 1- and 4-process clusters (one OS process per replica,
+shared-memory model tables, pipe transport).  Byte parity against the
+single-pipeline baseline is asserted unconditionally; the 4-process-over-
+1-process speedup is recorded always but banded only on multi-core hosts
+(``proc_speedup_4w_multicore``), since process parallelism cannot
+materialise on a single CPU core.
 """
 
 from __future__ import annotations
+
+import os
 
 from repro.data import LogGenerator
 from repro.models import create_model
@@ -141,3 +151,72 @@ def test_cluster_scaling(eleme_bench):
     assert cache_report.cache_hit_rate >= 0.4, (
         f"cache hit rate collapsed to {cache_report.cache_hit_rate:.1%}"
     )
+
+
+PROC_REQUESTS = 300  # process boots dominate at bench scale; keep the burst tight
+
+
+def test_process_cluster_scaling(eleme_bench):
+    generator = LogGenerator(eleme_bench.world, eleme_bench.config.log_config())
+    state = ServingState.from_log_generator(generator, eleme_bench.log)
+    encoder = OnlineRequestEncoder(eleme_bench.world, eleme_bench.schema)
+    model = create_model("basm", eleme_bench.schema, MODEL_CONFIG)
+
+    contexts = sample_burst_contexts(eleme_bench.world, PROC_REQUESTS, day=DAY, seed=SEED)
+    baseline = run_single_worker_baseline(
+        eleme_bench.world, model, encoder, state, contexts, PIPELINE_CONFIG
+    )
+
+    reports = {
+        workers: run_cluster_load_test(
+            eleme_bench.world, model, encoder, state,
+            num_requests=PROC_REQUESTS, num_workers=workers,
+            cluster_config=CLUSTER_CONFIG, pipeline_config=PIPELINE_CONFIG,
+            client_threads=8, day=DAY, seed=SEED, baseline=baseline,
+            process_workers=True,
+        )
+        for workers in (1, 4)
+    }
+    four = reports[4]
+    proc_speedup_4w = four.rps / max(reports[1].rps, 1e-9)
+
+    rows = [
+        {
+            "Engine": f"process cluster, {workers} worker(s)",
+            "Requests": report.num_requests,
+            "Seconds": round(report.seconds, 3),
+            "Requests/sec": round(report.rps, 1),
+            "Mean batch": round(report.mean_batch, 1),
+            "Speedup vs baseline": round(report.speedup, 2),
+        }
+        for workers, report in reports.items()
+    ]
+    save_result(
+        "proc_cluster_scaling",
+        format_rows(rows, title=f"Process-cluster throughput ({PROC_REQUESTS}-request burst)")
+        + "\n"
+        + four.summary()
+        + f"\n4-process over 1-process: {proc_speedup_4w:.2f}x"
+        + f" ({os.cpu_count()} CPU core(s) on this host)",
+    )
+    metrics = {
+        "proc_rps_1w": reports[1].rps,
+        "proc_rps_4w": four.rps,
+        "proc_speedup_4w": proc_speedup_4w,
+        "proc_max_abs_score_diff": four.max_abs_score_diff,
+        "proc_items_mismatches": four.items_mismatches,
+        "proc_rejected": four.rejected,
+    }
+    # The multicore band only exists where process parallelism can: with 4
+    # real cores the 4-process cluster must clear 1.5x the 1-process one.
+    # Single-core hosts omit the key; its baseline band is marked optional.
+    if (os.cpu_count() or 1) >= 4:
+        metrics["proc_speedup_4w_multicore"] = proc_speedup_4w
+    save_bench_json("cluster_scaling", metrics)
+
+    # Crossing a process boundary must not move a single byte of output.
+    assert four.items_mismatches == 0
+    assert four.max_abs_score_diff == 0.0
+    assert reports[1].items_mismatches == 0
+    assert reports[1].max_abs_score_diff == 0.0
+    assert four.rejected == 0

@@ -37,7 +37,7 @@ back to the full forward in :class:`repro.serving.batching.BatchScorer`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -99,6 +99,29 @@ class ItemTable:
                 np.rint(values / scales), -127, 127
             ).astype(np.int8)
             self._scales = scales
+
+    @classmethod
+    def from_storage(cls, values: np.ndarray, scales: "Optional[np.ndarray]",
+                     quantization: str) -> "ItemTable":
+        """Adopt already-quantised storage arrays without copying.
+
+        The zero-copy rebuild path for process workers: the parent publishes
+        a table's ``_values``/``_scales`` into shared memory and each worker
+        wraps its read-only views back into an ``ItemTable``.  ``values`` is
+        stored as-is (it may be a non-writeable view of any supported
+        storage dtype); ``shape`` is the logical float32 shape, which equals
+        the storage shape for every supported quantisation.
+        """
+        if quantization not in QUANTIZATIONS:
+            raise ValueError(
+                f"quantization must be one of {QUANTIZATIONS}, got {quantization!r}"
+            )
+        table = cls.__new__(cls)
+        table.quantization = quantization
+        table.shape = values.shape
+        table._values = values
+        table._scales = scales
+        return table
 
     def gather(self, indices: np.ndarray) -> np.ndarray:
         """Float32 rows for ``indices`` (dequantising if needed)."""

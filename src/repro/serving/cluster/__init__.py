@@ -15,7 +15,10 @@ from .loadgen import (
     run_single_worker_baseline,
     sample_burst_contexts,
 )
+from .procworker import ProcessWorkerHandle
 from .sharding import ConsistentHashRing
+from .shm import MappedSegment, SegmentPublisher
+from .supervisor import ProcessWorkerPool, Supervisor
 from .worker import ClusterOverloadError, ClusterWorker
 
 __all__ = [
@@ -27,7 +30,12 @@ __all__ = [
     "ClusterWorker",
     "ConsistentHashRing",
     "DeployReport",
+    "MappedSegment",
+    "ProcessWorkerHandle",
+    "ProcessWorkerPool",
     "ResponseCache",
+    "SegmentPublisher",
+    "Supervisor",
     "RollingDeploy",
     "RollingDeployError",
     "ShardDeployResult",

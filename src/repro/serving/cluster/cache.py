@@ -124,6 +124,25 @@ class ResponseCache:
         with self._lock:
             self._entries.clear()
 
+    def purge_expired(self) -> int:
+        """Drop every entry whose TTL has lapsed; returns how many.
+
+        Expiry normally happens lazily on ``get``; this is the maintenance
+        sweep for long-idle caches.  Like every TTL comparison in this class
+        it reads the injectable ``clock``, never ``time.monotonic`` directly,
+        so frozen-clock tests stay deterministic.
+        """
+        now = self.clock()
+        with self._lock:
+            expired = [
+                key for key, (expires_at, _) in self._entries.items()
+                if now >= expires_at
+            ]
+            for key in expired:
+                del self._entries[key]
+            self.expirations += len(expired)
+            return len(expired)
+
     def reset_stats(self) -> None:
         with self._lock:
             self.hits = 0

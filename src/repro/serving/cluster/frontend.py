@@ -93,6 +93,7 @@ class ClusterFrontend:
         virtual_nodes: int = 64,
         autostart: bool = True,
         durable: Optional[DurableStateStore] = None,
+        pool=None,
     ) -> None:
         if not workers:
             raise ValueError("a cluster needs at least one worker")
@@ -107,6 +108,10 @@ class ClusterFrontend:
         #: is enabled: ``RollingDeploy`` snapshots through it before promoting
         #: and :meth:`snapshot` exposes it for periodic checkpointing.
         self.durable = durable
+        #: The owning :class:`~repro.serving.cluster.supervisor.
+        #: ProcessWorkerPool` when the workers are process handles; closing
+        #: the frontend closes the pool (processes, segments, supervisor).
+        self.pool = pool
         self.ring = ConsistentHashRing(list(self.workers), virtual_nodes=virtual_nodes)
         self.cache_bypasses = 0
         self.warmed_requests = 0
@@ -122,6 +127,9 @@ class ClusterFrontend:
         return self
 
     def close(self, timeout: float = 5.0) -> None:
+        if self.pool is not None:
+            self.pool.close(timeout=timeout)
+            return
         for worker in self.workers.values():
             worker.stop(timeout=timeout)
 
@@ -290,6 +298,8 @@ def build_cluster(
     autostart: bool = True,
     durable: Optional[DurableStateStore] = None,
     warm_on_boot: bool = True,
+    process_workers: bool = False,
+    quantization: str = "float32",
 ) -> ClusterFrontend:
     """Assemble N identical worker replicas behind one frontend.
 
@@ -312,10 +322,55 @@ def build_cluster(
     promoting.  ``warm_on_boot`` (with ``autostart``) serves the state's
     ``recent_contexts`` once so a recovered cluster boots with warm
     response/feature caches.
+
+    With ``process_workers`` each replica is a real ``multiprocessing``
+    process behind a :class:`~repro.serving.cluster.procworker.
+    ProcessWorkerHandle`: model weights and frozen two-tower item tables
+    (stored per ``quantization``) are published once into shared memory, the
+    parent process is the single feedback writer, and a supervisor respawns
+    dead workers warm from the durable store (the pool creates a throwaway
+    one when ``durable`` is None).  Scenario routing is not yet supported in
+    process mode.
     """
     config = config or ClusterConfig()
     if scenario_configs is not None and not scenario_configs:
         raise ValueError("scenario_configs must name at least one scenario")
+    if process_workers:
+        if scenario_configs is not None:
+            raise ValueError(
+                "process_workers does not support scenario routing yet; "
+                "use thread workers for ScenarioRouter deployments"
+            )
+        # Imported lazily: supervisor imports this module for ClusterConfig.
+        from .supervisor import ProcessWorkerPool
+
+        pool = ProcessWorkerPool(
+            world, model, encoder, state,
+            config=config,
+            pipeline_config=pipeline_config or PipelineConfig(),
+            durable=durable,
+            quantization=quantization,
+        )
+        pool.start()
+        try:
+            pool.wait_healthy()
+        except Exception:
+            pool.close()
+            raise
+        cache = None
+        if config.cache_enabled:
+            cache = ResponseCache(
+                ttl_seconds=config.cache_ttl_seconds,
+                max_entries=config.cache_max_entries,
+            )
+        frontend = ClusterFrontend(
+            pool.workers, state, cache=cache,
+            virtual_nodes=config.virtual_nodes, autostart=autostart,
+            durable=pool.durable, pool=pool,
+        )
+        if warm_on_boot and autostart and state.recent_contexts:
+            frontend.warm(list(state.recent_contexts))
+        return frontend
     workers: List[ClusterWorker] = []
     for index in range(config.num_workers):
         metrics = StageMetrics()

@@ -215,6 +215,7 @@ def run_cluster_load_test(
     seed: int = 11,
     repeat_bursts: int = 1,
     baseline: Optional[BaselineRun] = None,
+    process_workers: bool = False,
 ) -> ClusterLoadReport:
     """Drive one cluster configuration with an open-loop burst.
 
@@ -222,6 +223,8 @@ def run_cluster_load_test(
     sweep: with the cache enabled the repeat passes hit instead of serving).
     When ``baseline`` is given, the report carries the speedup against it
     and the byte-parity comparison of the *first* pass's responses.
+    ``process_workers`` runs the same load against process-isolated workers
+    (one OS process per replica, shared-memory model tables).
     The shared feature cache is cleared before timing so every call measures
     from the same cold start.
     """
@@ -231,7 +234,8 @@ def run_cluster_load_test(
     config = ClusterConfig(**{**config.__dict__, "num_workers": num_workers})
     contexts = sample_burst_contexts(world, num_requests, day=day, seed=seed)
     frontend = build_cluster(
-        world, model, encoder, state, config=config, pipeline_config=pipeline_config
+        world, model, encoder, state, config=config, pipeline_config=pipeline_config,
+        process_workers=process_workers,
     )
     state.features.clear()
     try:

@@ -68,6 +68,55 @@ __all__ = [
 # ---------------------------------------------------------------------- #
 # envelopes
 # ---------------------------------------------------------------------- #
+def _context_fields(context: RequestContext):
+    """A context flattened to plain Python scalars, in constructor order.
+
+    Contexts sampled straight from world arrays carry numpy scalars in their
+    fields; normalising here is what makes the envelope reductions (and the
+    pipe codec built on the same helpers) independent of the producer.
+    """
+    return (
+        int(context.user_index),
+        int(context.day),
+        int(context.hour),
+        int(context.time_period),
+        int(context.city),
+        float(context.latitude),
+        float(context.longitude),
+        str(context.geohash),
+    )
+
+
+def _pack_array(array: Optional[np.ndarray]):
+    """``(dtype str, shape, raw bytes)`` or None — a self-describing array."""
+    if array is None:
+        return None
+    array = np.ascontiguousarray(array)
+    return (array.dtype.str, tuple(int(dim) for dim in array.shape), array.tobytes())
+
+
+def _unpack_array(packed) -> Optional[np.ndarray]:
+    if packed is None:
+        return None
+    dtype, shape, raw = packed
+    return np.frombuffer(raw, dtype=np.dtype(dtype)).reshape(shape).copy()
+
+
+def _rebuild_serve_request(fields, request_id: str, scenario: str) -> "ServeRequest":
+    return ServeRequest(
+        context=RequestContext(*fields), request_id=request_id, scenario=scenario
+    )
+
+
+def _rebuild_serve_response(request, candidates, items, scores) -> "ServeResponse":
+    return ServeResponse(
+        request=request,
+        candidates=_unpack_array(candidates),
+        items=_unpack_array(items),
+        scores=_unpack_array(scores),
+    )
+
+
 @dataclass
 class ServeRequest:
     """One serving request as the pipeline sees it.
@@ -80,6 +129,15 @@ class ServeRequest:
     context: RequestContext
     request_id: str = ""
     scenario: str = ""
+
+    def __reduce__(self):
+        # Default dataclass pickling drags whatever numpy scalar types the
+        # context was sampled with across the process boundary; reduce to
+        # plain scalars so a request round-trips identically from any source.
+        return (
+            _rebuild_serve_request,
+            (_context_fields(self.context), str(self.request_id), str(self.scenario)),
+        )
 
 
 @dataclass
@@ -95,6 +153,17 @@ class ServeResponse:
     candidates: Optional[np.ndarray] = None
     items: Optional[np.ndarray] = None
     scores: Optional[np.ndarray] = None
+
+    def __reduce__(self):
+        return (
+            _rebuild_serve_response,
+            (
+                self.request,
+                _pack_array(self.candidates),
+                _pack_array(self.items),
+                _pack_array(self.scores),
+            ),
+        )
 
     @property
     def context(self) -> RequestContext:
@@ -219,6 +288,45 @@ class StageMetrics:
 
     def reset(self) -> None:
         self._stages.clear()
+
+    # ------------------------------------------------------------------ #
+    def to_payload(self) -> dict:
+        """A JSON-able dump of every stage — the cross-process wire form.
+
+        Worker processes cannot share an accumulator object with the
+        frontend, so they ship this payload over the control pipe and the
+        parent rebuilds a :class:`StageMetrics` to merge like any thread
+        worker's.
+        """
+        return {
+            "max_samples": self.max_samples,
+            "stages": {
+                name: {
+                    "calls": stats.calls,
+                    "requests": stats.requests,
+                    "items_in": stats.items_in,
+                    "items_out": stats.items_out,
+                    "seconds": stats.seconds,
+                    "latencies": [float(value) for value in stats.latencies],
+                }
+                for name, stats in self._stages.items()
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "StageMetrics":
+        metrics = cls(max_samples=int(payload.get("max_samples", 4096)))
+        for name, entry in payload.get("stages", {}).items():
+            stats = metrics._stages[name] = StageStats(
+                latencies=deque(maxlen=metrics.max_samples)
+            )
+            stats.calls = int(entry["calls"])
+            stats.requests = int(entry["requests"])
+            stats.items_in = int(entry["items_in"])
+            stats.items_out = int(entry["items_out"])
+            stats.seconds = float(entry["seconds"])
+            stats.latencies.extend(float(value) for value in entry["latencies"])
+        return metrics
 
     # ------------------------------------------------------------------ #
     def latency_percentiles(self, stage: str,

@@ -270,6 +270,11 @@ class ServingState:
         #: recovered worker can re-warm the behaviour-snapshot cache for the
         #: users that were active when the process died.
         self.recent_contexts: Deque[RequestContext] = deque(maxlen=256)
+        #: Replication taps: called as ``listener(sequence, event)`` under
+        #: :attr:`lock` after every committed feedback mutation, in the exact
+        #: commit order.  The process-worker pool registers one per worker to
+        #: stream the single writer's mutations to its replicas.
+        self._feedback_listeners: List[Callable[[int, Any], None]] = []
 
     # ------------------------------------------------------------------ #
     @classmethod
@@ -339,6 +344,25 @@ class ServingState:
         self.journal = journal
         return journal
 
+    def add_feedback_listener(self, listener: Callable[[int, Any], None]) -> None:
+        """Stream every committed feedback mutation to ``listener``.
+
+        Called as ``listener(sequence, event)`` while :attr:`lock` is held,
+        immediately after the mutation applies — so a listener registered
+        under the lock (together with a snapshot of the current state) sees
+        exactly the mutations the snapshot does not contain, with no gap and
+        no overlap.  Listeners must be fast and must not re-enter the state.
+        """
+        with self.lock:
+            self._feedback_listeners.append(listener)
+
+    def remove_feedback_listener(self, listener: Callable[[int, Any], None]) -> None:
+        with self.lock:
+            try:
+                self._feedback_listeners.remove(listener)
+            except ValueError:
+                pass
+
     def record_clicks(self, context: RequestContext, items: np.ndarray, clicks: np.ndarray,
                       order_probability: float = 0.3,
                       rng: Optional[np.random.Generator] = None) -> None:
@@ -366,20 +390,24 @@ class ServingState:
                 (rng.random() < order_probability for _ in range(len(clicked))),
                 dtype=bool, count=len(clicked),
             )
-            if self.journal is not None:
+            event = None
+            if self.journal is not None or self._feedback_listeners:
                 from .durable.journal import FeedbackEvent  # lazy: cycle guard
 
-                self.feedback_seq = self.journal.append(
-                    FeedbackEvent(
-                        context=context,
-                        items=np.asarray(items, dtype=np.int64),
-                        clicks=clicks_array,
-                        orders=orders,
-                    )
+                event = FeedbackEvent(
+                    context=context,
+                    items=np.asarray(items, dtype=np.int64),
+                    clicks=clicks_array,
+                    orders=orders,
                 )
+            if self.journal is not None:
+                self.feedback_seq = self.journal.append(event)
             else:
                 self.feedback_seq += 1
             self.apply_feedback(context, items, clicks_array, orders)
+            if event is not None:
+                for listener in self._feedback_listeners:
+                    listener(self.feedback_seq, event)
 
     def apply_feedback(self, context: RequestContext, items: np.ndarray,
                        clicks: np.ndarray, orders: np.ndarray) -> None:

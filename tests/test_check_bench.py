@@ -18,7 +18,7 @@ def _write(tmp_path, baselines, results):
     baselines_path = tmp_path / "baselines.json"
     baselines_path.write_text(json.dumps(baselines), encoding="utf-8")
     results_dir = tmp_path / "results"
-    results_dir.mkdir()
+    results_dir.mkdir(exist_ok=True)
     for name, metrics in results.items():
         (results_dir / f"BENCH_{name}.json").write_text(
             json.dumps({"benchmark": name, "metrics": metrics}), encoding="utf-8"
@@ -70,6 +70,25 @@ class TestMain:
         )
         assert check_bench.main(argv) == 1
 
+    def test_optional_metric_may_be_absent(self, tmp_path, capsys):
+        """An ``optional`` band skips absence (host-conditional measurements)."""
+        argv = _write(
+            tmp_path,
+            {"speed": {"multicore": {"min": 1.5, "optional": True}}},
+            {"speed": {"ratio": 1.0}},
+        )
+        assert check_bench.main(argv) == 0
+        assert "SKIP speed.multicore" in capsys.readouterr().out
+
+    def test_optional_metric_still_enforced_when_present(self, tmp_path):
+        baselines = {"speed": {"multicore": {"min": 1.5, "optional": True}}}
+        assert check_bench.main(
+            _write(tmp_path, baselines, {"speed": {"multicore": 1.0}})
+        ) == 1
+        assert check_bench.main(
+            _write(tmp_path, baselines, {"speed": {"multicore": 2.0}})
+        ) == 0
+
     def test_repo_baselines_are_well_formed(self):
         baselines = json.loads(
             (REPO_ROOT / "benchmarks" / "baselines.json").read_text(encoding="utf-8")
@@ -78,9 +97,9 @@ class TestMain:
         for benchmark, bands in baselines.items():
             assert bands, f"{benchmark} has no bands"
             for metric, band in bands.items():
-                assert set(band) <= {"min", "max", "baseline", "rel_tol", "abs_tol"}, (
-                    f"unknown band keys for {benchmark}.{metric}: {band}"
-                )
+                assert set(band) <= {
+                    "min", "max", "baseline", "rel_tol", "abs_tol", "optional"
+                }, f"unknown band keys for {benchmark}.{metric}: {band}"
                 assert any(key in band for key in ("min", "max", "baseline")), (
                     f"{benchmark}.{metric} band constrains nothing"
                 )

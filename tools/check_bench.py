@@ -20,7 +20,11 @@ Metrics present in a results file but absent from the baselines are
 ignored (informational only).  A baselined metric whose results file or
 key is missing is a failure — a deleted benchmark cannot silently take its
 regression guard with it — unless ``--allow-missing`` is given (useful for
-checking a partial local run).
+checking a partial local run).  A band carrying ``"optional": true`` is
+the exception: its metric may legitimately be absent (a host-conditional
+measurement, e.g. a multi-core speedup a single-core runner cannot
+produce), so absence is skipped — but when the metric *is* present the
+band is enforced like any other.
 
 Exit code 0 when every band holds, 1 otherwise.
 """
@@ -80,6 +84,9 @@ def main(argv: List[str]) -> int:
         metrics = json.loads(results_path.read_text(encoding="utf-8"))["metrics"]
         for metric, band in sorted(bands.items()):
             if metric not in metrics:
+                if band.get("optional"):
+                    print(f"SKIP {benchmark}.{metric}: optional metric not measured")
+                    continue
                 if arguments.allow_missing:
                     print(f"SKIP {benchmark}.{metric}: not in results")
                     continue
